@@ -1,0 +1,40 @@
+# Development targets for the cool library.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench figures examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure and ablation into results/.
+figures:
+	$(GO) run ./cmd/coolbench -fig all -out results/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/forest
+	$(GO) run ./examples/eventdetection
+	$(GO) run ./examples/testbed
+	$(GO) run ./examples/hetero
+
+fuzz:
+	$(GO) test ./internal/core/ -fuzz FuzzScheduleJSON -fuzztime 30s
+	$(GO) test ./internal/lp/ -fuzz FuzzSolveRobustness -fuzztime 30s
+
+clean:
+	rm -rf results/ testdata/fuzz

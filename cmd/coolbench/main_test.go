@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickAblation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "ablation", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ablation-policies", "ablation-rho", "ablation-lazy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunQuickFig7WritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "7", "-quick", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,hour,value") {
+		t.Errorf("CSV header wrong: %q", string(data[:40]))
+	}
+}
+
+func TestRunQuickFig8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "8", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig8a", "fig8b", "fig8c", "fig8d", "upper-bound", "simulated-30day"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunQuickFig9(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "9", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n=300") {
+		t.Error("fig9 curves missing")
+	}
+}
+
+func TestRunQuickRandom(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "random", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "random-charging") {
+		t.Error("random charging figure missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "nope"}, &buf); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunQuickSensitivity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "sensitivity", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sensitivity-p", "sensitivity-range"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunQuickExtensions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "extensions", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ablation-hetero", "ablation-adaptive", "closed-loop"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunChartFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "sensitivity", "-quick", "-chart"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+---") {
+		t.Error("chart axis missing")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunGreedy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "20", "-m", "4", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"period utility:", "average utility", "slot sizes:", "mode=placement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	for _, algo := range []string{"lazy", "random", "round-robin", "first-slot", "sorted-stride", "lp", "lp-det"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-n", "12", "-m", "3", "-algo", algo}, &buf); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunExactSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "6", "-m", "2", "-algo", "exact", "-show"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "assignment") {
+		t.Error("missing -show assignment output")
+	}
+}
+
+func TestRunRemovalMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "10", "-m", "3", "-rho", "0.5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mode=removal") {
+		t.Error("rho=0.5 should produce a removal-mode schedule")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "0"},
+		{"-rho", "2.5"},
+		{"-algo", "nope"},
+		{"-p", "1.5"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

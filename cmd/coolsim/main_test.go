@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "20", "-m", "4", "-days", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"total utility:", "average utility", "denied activations", "mean active"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"lazy", "all-ready", "random", "round-robin"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-n", "15", "-m", "3", "-days", "1", "-policy", policy}, &buf); err != nil {
+			t.Errorf("policy %s: %v", policy, err)
+		}
+	}
+}
+
+func TestRunRandomCharging(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-n", "15", "-m", "3", "-days", "1",
+		"-charging", "random", "-event-rate", "0.5", "-event-duration", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "charging=random") {
+		t.Error("missing charging mode in output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-days", "0"},
+		{"-charging", "nope"},
+		{"-policy", "nope"},
+		{"-rho", "2.5"},
+		{"-unknown"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunClosedLoopMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-loop", "-n", "12", "-m", "3", "-days", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"window", "replanned", "run average:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("closed-loop output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command cooltrace generates solar measurement-campaign traces (the
+// simulated stand-in for the paper's rooftop testbed logging) and
+// estimates charging patterns from them.
+//
+// Usage:
+//
+//	cooltrace generate -nodes 4 -days sunny,partly-cloudy,sunny -o traces.csv
+//	cooltrace estimate -i traces.csv -node 0 -window 2h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cool"
+	"cool/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cooltrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cooltrace generate|estimate [flags]")
+	}
+	switch args[0] {
+	case "generate":
+		return generate(args[1:], out)
+	case "estimate":
+		return estimate(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want generate|estimate)", args[0])
+	}
+}
+
+func parseWeather(names string) ([]cool.Weather, error) {
+	table := map[string]cool.Weather{
+		"sunny":         cool.WeatherSunny,
+		"partly-cloudy": cool.WeatherPartlyCloudy,
+		"overcast":      cool.WeatherOvercast,
+		"rain":          cool.WeatherRain,
+	}
+	var out []cool.Weather
+	for _, name := range strings.Split(names, ",") {
+		w, ok := table[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown weather %q", name)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func generate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cooltrace generate", flag.ContinueOnError)
+	var (
+		nodes    = fs.Int("nodes", 2, "number of motes")
+		days     = fs.String("days", "sunny", "comma-separated weather per day")
+		interval = fs.Duration("interval", 5*time.Minute, "sampling interval")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		output   = fs.String("o", "", "output CSV path (stdout when empty)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	weather, err := parseWeather(*days)
+	if err != nil {
+		return err
+	}
+	records, err := cool.MeasureCampaign(cool.CampaignConfig{
+		Nodes:    *nodes,
+		Days:     weather,
+		Interval: *interval,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	dst := out
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.WriteCSV(dst, records); err != nil {
+		return err
+	}
+	if *output != "" {
+		fmt.Fprintf(out, "wrote %d records for %d nodes over %d days to %s\n",
+			len(records), *nodes, len(weather), *output)
+	}
+	return nil
+}
+
+func estimate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cooltrace estimate", flag.ContinueOnError)
+	var (
+		input  = fs.String("i", "", "input CSV path (required)")
+		node   = fs.Int("node", 0, "node ID to analyze")
+		window = fs.Duration("window", 2*time.Hour, "estimation window (the paper's short horizon)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		return fmt.Errorf("missing -i input path")
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	nodeRecs := trace.NodeRecords(records, *node)
+	if len(nodeRecs) == 0 {
+		return fmt.Errorf("no records for node %d", *node)
+	}
+	patterns, err := cool.EstimatePatterns(nodeRecs, *window)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "node %d: %d estimable windows of %v\n", *node, len(patterns), *window)
+	fmt.Fprintf(out, "%8s %12s %12s %8s %10s\n", "window", "Tr", "Td", "rho", "period")
+	for i, p := range patterns {
+		periodStr := "n/a"
+		if period, err := p.Period(); err == nil {
+			periodStr = fmt.Sprintf("T=%d", period.Slots())
+		}
+		fmt.Fprintf(out, "%8d %12v %12v %8.2f %10s\n",
+			i, p.Recharge.Round(time.Minute), p.Discharge.Round(time.Minute), p.Rho(), periodStr)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndEstimate(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "traces.csv")
+	var buf bytes.Buffer
+	err := run([]string{
+		"generate", "-nodes", "2", "-days", "sunny",
+		"-interval", "2m", "-o", csvPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Errorf("missing summary: %s", buf.String())
+	}
+	if _, err := os.Stat(csvPath); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := run([]string{"estimate", "-i", csvPath, "-node", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "estimable windows") || !strings.Contains(out, "rho") {
+		t.Errorf("estimate output wrong:\n%s", out)
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"generate", "-nodes", "1", "-days", "rain", "-interval", "30m"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "node,at_seconds") {
+		t.Errorf("stdout CSV missing header: %q", buf.String()[:30])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"generate", "-days", "martian"},
+		{"generate", "-nodes", "0"},
+		{"estimate"},
+		{"estimate", "-i", "/nonexistent/file.csv"},
+		{"generate", "-badflag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestEstimateUnknownNode(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"generate", "-nodes", "1", "-days", "sunny", "-interval", "10m", "-o", csvPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"estimate", "-i", csvPath, "-node", "9"}, &buf); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

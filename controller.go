@@ -1,0 +1,49 @@
+package cool
+
+import (
+	"errors"
+
+	"cool/internal/controller"
+)
+
+// Closed-loop operation: the paper's measure → estimate → re-plan →
+// execute cycle packaged as one call.
+type (
+	// WindowReport records one planning window of a closed-loop run.
+	WindowReport = controller.WindowReport
+	// ClosedLoopResult summarizes a closed-loop run.
+	ClosedLoopResult = controller.Result
+)
+
+// ClosedLoopOptions tunes RunClosedLoop.
+type ClosedLoopOptions struct {
+	// Targets normalizes the reported utility (default 1).
+	Targets int
+	// SlotsPerWindow is the working slots per planning window (default
+	// 48, a 12-hour day of 15-minute slots).
+	SlotsPerWindow int
+	// Estimate runs the full trace-estimation pipeline per window
+	// instead of using the known per-weather pattern.
+	Estimate bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// RunClosedLoop lives through the weather sequence with the utility's
+// fleet: each window it (optionally) estimates the charging pattern,
+// re-plans the greedy schedule when the pattern changed, and executes
+// the window on the simulator.
+func RunClosedLoop(u Utility, weather []Weather, opts ClosedLoopOptions) (*ClosedLoopResult, error) {
+	if u == nil {
+		return nil, errors.New("cool: nil utility")
+	}
+	return controller.Run(controller.Config{
+		NumSensors:     u.GroundSize(),
+		Factory:        u.NewOracle,
+		Targets:        opts.Targets,
+		Weather:        weather,
+		SlotsPerWindow: opts.SlotsPerWindow,
+		Estimate:       opts.Estimate,
+		Seed:           opts.Seed,
+	})
+}

@@ -1,0 +1,35 @@
+package cool_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end-to-end — the
+// examples double as integration tests of the public API. Skipped in
+// -short mode (each takes up to a few seconds).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := []string{
+		"./examples/quickstart",
+		"./examples/forest",
+		"./examples/eventdetection",
+		"./examples/testbed",
+		"./examples/hetero",
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package cool
+
+import (
+	"errors"
+
+	"cool/internal/core"
+	"cool/internal/sim"
+)
+
+// This file exposes the library's implementations of the paper's two
+// future-work directions (Section VIII): heterogeneous charging
+// patterns and partially-recharged activation.
+
+// HeteroSchedule is a periodic schedule for sensors with individual
+// charging periods; it repeats every Hyperperiod slots.
+type HeteroSchedule = core.HeteroSchedule
+
+// PlanHetero computes the heterogeneous greedy schedule: each sensor
+// has its own normalized charging period (all in the ρ ≥ 1 regime) and
+// receives an activation offset within it, chosen greedily over the
+// hyperperiod. The selection problem is monotone submodular under a
+// partition matroid, so the greedy keeps the 1/2-approximation.
+func PlanHetero(u Utility, periods []Period) (*HeteroSchedule, error) {
+	if u == nil {
+		return nil, errors.New("cool: nil utility")
+	}
+	if len(periods) != u.GroundSize() {
+		return nil, errors.New("cool: one period per sensor required")
+	}
+	return core.GreedyHetero(core.HeteroInstance{
+		Periods: periods,
+		Factory: u.NewOracle,
+	})
+}
+
+// PlanHeteroExact enumerates all offset assignments — the optimality
+// yardstick for PlanHetero on tiny instances.
+func PlanHeteroExact(u Utility, periods []Period, maxCombos int64) (*HeteroSchedule, error) {
+	if u == nil {
+		return nil, errors.New("cool: nil utility")
+	}
+	if len(periods) != u.GroundSize() {
+		return nil, errors.New("cool: one period per sensor required")
+	}
+	return core.ExactHetero(core.HeteroInstance{
+		Periods: periods,
+		Factory: u.NewOracle,
+	}, maxCombos)
+}
+
+// HeterogeneousCharging gives every sensor its own deterministic
+// charging period in the simulator.
+type HeterogeneousCharging = sim.HeterogeneousCharging
+
+// HeteroSchedulePolicy follows a heterogeneous schedule in the
+// simulator.
+type HeteroSchedulePolicy = sim.HeteroSchedulePolicy
+
+// SimulateHetero executes a heterogeneous schedule under per-sensor
+// deterministic charging for the given number of slots.
+func SimulateHetero(u Utility, s *HeteroSchedule, periods []Period, slots, targets int, seed uint64) (*SimResult, error) {
+	if u == nil || s == nil {
+		return nil, errors.New("cool: nil utility or schedule")
+	}
+	return sim.Run(sim.Config{
+		NumSensors: s.NumSensors(),
+		Slots:      slots,
+		Policy:     sim.HeteroSchedulePolicy{Schedule: s},
+		Charging:   sim.HeterogeneousCharging{Periods: periods},
+		Factory:    u.NewOracle,
+		Targets:    targets,
+		Seed:       seed,
+	})
+}
+
+// OnlineGreedyPolicy is the adaptive partial-charge activation policy:
+// each slot it activates the highest-marginal-gain sensors among those
+// whose current charge sustains one active slot, up to a per-slot
+// budget. Use it through RunSimulation; see NewOnlineGreedyPolicy.
+type OnlineGreedyPolicy = sim.OnlineGreedyPolicy
+
+// NewOnlineGreedyPolicy builds the adaptive policy with the
+// steady-state budget ⌈n/T⌉ for the utility's ground set and period.
+func NewOnlineGreedyPolicy(u Utility, period Period) OnlineGreedyPolicy {
+	return OnlineGreedyPolicy{
+		Factory: u.NewOracle,
+		Budget:  sim.DefaultBudget(u.GroundSize(), period.Slots()),
+	}
+}

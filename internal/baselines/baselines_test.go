@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"testing"
+
+	"cool/internal/core"
+	"cool/internal/energy"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+)
+
+func instance(t *testing.T, n, m int, rho float64, seed uint64) core.Instance {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	targets := make([]submodular.DetectionTarget, m)
+	for i := range targets {
+		probs := make(map[int]float64)
+		for v := 0; v < n; v++ {
+			if rng.Bernoulli(0.7) {
+				probs[v] = rng.UniformRange(0.2, 0.8)
+			}
+		}
+		if len(probs) == 0 {
+			probs[0] = 0.5
+		}
+		targets[i] = submodular.DetectionTarget{Weight: 1, Probs: probs}
+	}
+	u, err := submodular.NewDetectionUtility(n, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, err := energy.PeriodFromRho(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Instance{
+		N:       n,
+		Period:  period,
+		Factory: func() submodular.RemovalOracle { return u.Oracle() },
+	}
+}
+
+func TestBaselinesFeasible(t *testing.T) {
+	in := instance(t, 12, 3, 3, 1)
+	rng := stats.NewRNG(2)
+	for _, name := range All() {
+		s, err := Build(name, in, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.CheckFeasible(in.Period); err != nil {
+			t.Errorf("%s: infeasible: %v", name, err)
+		}
+		if s.NumSensors() != in.N || s.Period() != in.Period.Slots() {
+			t.Errorf("%s: wrong shape", name)
+		}
+	}
+}
+
+func TestBaselinesFeasibleRemovalMode(t *testing.T) {
+	in := instance(t, 8, 2, 0.5, 3)
+	rng := stats.NewRNG(4)
+	for _, name := range []Name{NameRandom, NameRoundRobin, NameFirstSlot, NameSortedStride, NameGreedy} {
+		s, err := Build(name, in, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Mode() != core.ModeRemoval {
+			t.Errorf("%s: mode = %v, want removal", name, s.Mode())
+		}
+		if err := s.CheckFeasible(in.Period); err != nil {
+			t.Errorf("%s: infeasible: %v", name, err)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	in := instance(t, 4, 1, 3, 5)
+	if _, err := Build("nope", in, stats.NewRNG(1)); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestBaselinesValidateInstance(t *testing.T) {
+	rng := stats.NewRNG(6)
+	if _, err := Random(core.Instance{}, rng); err == nil {
+		t.Error("Random accepted invalid instance")
+	}
+	if _, err := Random(instance(t, 4, 1, 3, 7), nil); err == nil {
+		t.Error("Random accepted nil RNG")
+	}
+	if _, err := RoundRobin(core.Instance{}); err == nil {
+		t.Error("RoundRobin accepted invalid instance")
+	}
+	if _, err := FirstSlot(core.Instance{}); err == nil {
+		t.Error("FirstSlot accepted invalid instance")
+	}
+	if _, err := SortedStride(core.Instance{}); err == nil {
+		t.Error("SortedStride accepted invalid instance")
+	}
+}
+
+func TestRoundRobinStripes(t *testing.T) {
+	in := instance(t, 10, 2, 3, 8)
+	s, err := RoundRobin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, slot := range s.Assignment() {
+		if slot != v%4 {
+			t.Errorf("sensor %d at slot %d, want %d", v, slot, v%4)
+		}
+	}
+	sizes := s.SlotSizes()
+	for slot, sz := range sizes {
+		want := 10 / 4
+		if slot < 10%4 {
+			want++
+		}
+		if sz != want {
+			t.Errorf("slot %d size %d, want %d", slot, sz, want)
+		}
+	}
+}
+
+func TestFirstSlotConcentrates(t *testing.T) {
+	in := instance(t, 6, 2, 3, 9)
+	s, err := FirstSlot(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := s.SlotSizes()
+	if sizes[0] != 6 {
+		t.Errorf("slot 0 size = %d, want 6", sizes[0])
+	}
+	for slot := 1; slot < len(sizes); slot++ {
+		if sizes[slot] != 0 {
+			t.Errorf("slot %d size = %d, want 0", slot, sizes[slot])
+		}
+	}
+}
+
+// TestGreedyDominatesBaselines: the paper's greedy beats (or ties)
+// every baseline on random instances — the headline comparison.
+func TestGreedyDominatesBaselines(t *testing.T) {
+	rng := stats.NewRNG(10)
+	for trial := 0; trial < 10; trial++ {
+		in := instance(t, 10+trial, 3, 3, uint64(20+trial))
+		g, err := core.Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv := g.PeriodUtility(in.Factory)
+		for _, name := range []Name{NameRandom, NameRoundRobin, NameFirstSlot, NameSortedStride} {
+			s, err := Build(name, in, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bv := s.PeriodUtility(in.Factory); bv > gv+1e-9 {
+				t.Errorf("trial %d: %s (%v) beat greedy (%v)", trial, name, bv, gv)
+			}
+		}
+	}
+}
+
+func TestSortedStrideBeatsFirstSlot(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		in := instance(t, 12, 4, 3, uint64(40+trial))
+		ss, err := SortedStride(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := FirstSlot(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.PeriodUtility(in.Factory) <= fs.PeriodUtility(in.Factory) {
+			t.Errorf("trial %d: sorted-stride did not beat first-slot", trial)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	in := instance(t, 8, 2, 3, 11)
+	a, err := Random(in, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(in, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.Assignment(), b.Assignment()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("Random not deterministic per seed")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"cool/internal/core"
+	"cool/internal/solar"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+)
+
+func fleetFactory(t *testing.T, n int) core.OracleFactory {
+	t.Helper()
+	probs := make(map[int]float64, n)
+	for v := 0; v < n; v++ {
+		probs[v] = 0.4
+	}
+	u, err := submodular.NewDetectionUtility(n, []submodular.DetectionTarget{
+		{Weight: 1, Probs: probs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() submodular.RemovalOracle { return u.Oracle() }
+}
+
+func TestConfigValidation(t *testing.T) {
+	factory := fleetFactory(t, 4)
+	good := Config{
+		NumSensors: 4,
+		Factory:    factory,
+		Weather:    []solar.Weather{solar.WeatherSunny},
+	}
+	if _, err := Run(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []func(Config) Config{
+		func(c Config) Config { c.NumSensors = 0; return c },
+		func(c Config) Config { c.Factory = nil; return c },
+		func(c Config) Config { c.Weather = nil; return c },
+		func(c Config) Config { c.SlotsPerWindow = -1; return c },
+	}
+	for i, mutate := range cases {
+		if _, err := Run(mutate(good)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestClosedLoopOraclePatterns(t *testing.T) {
+	const n = 16
+	res, err := Run(Config{
+		NumSensors: n,
+		Factory:    fleetFactory(t, n),
+		Weather: []solar.Weather{
+			solar.WeatherSunny, solar.WeatherSunny,
+			solar.WeatherPartlyCloudy, solar.WeatherSunny,
+		},
+		Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 4 {
+		t.Fatalf("windows = %d", len(res.Windows))
+	}
+	// Replans happen exactly at weather changes: windows 0, 2 and 3.
+	wantReplans := []bool{true, false, true, true}
+	for i, w := range res.Windows {
+		if w.Replanned != wantReplans[i] {
+			t.Errorf("window %d replanned = %v, want %v", i, w.Replanned, wantReplans[i])
+		}
+		if w.Denied != 0 {
+			t.Errorf("window %d denied %d activations under matched pattern", i, w.Denied)
+		}
+		if w.AverageUtility <= 0 || w.AverageUtility > 1 {
+			t.Errorf("window %d utility %v out of range", i, w.AverageUtility)
+		}
+	}
+	if res.Replans != 3 {
+		t.Errorf("replans = %d, want 3", res.Replans)
+	}
+	// Sunny windows outperform the partly-cloudy one (faster recharge).
+	if !(res.Windows[0].AverageUtility > res.Windows[2].AverageUtility) {
+		t.Errorf("sunny %v not above cloudy %v",
+			res.Windows[0].AverageUtility, res.Windows[2].AverageUtility)
+	}
+}
+
+func TestClosedLoopWithEstimation(t *testing.T) {
+	const n = 12
+	res, err := Run(Config{
+		NumSensors: n,
+		Factory:    fleetFactory(t, n),
+		Weather: []solar.Weather{
+			solar.WeatherSunny, solar.WeatherOvercast, solar.WeatherSunny,
+		},
+		Estimate: true,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Windows {
+		if w.EstimatedRho <= 0 {
+			t.Errorf("window %d estimated rho %v", i, w.EstimatedRho)
+		}
+		if w.AverageUtility <= 0 {
+			t.Errorf("window %d utility %v", i, w.AverageUtility)
+		}
+	}
+	// Sunny estimation lands near the true rho=3.
+	if rho := res.Windows[0].EstimatedRho; rho < 2 || rho > 4.5 {
+		t.Errorf("sunny estimated rho = %v, want ~3", rho)
+	}
+	// Overcast implies a slower pattern than sunny.
+	if !(res.Windows[1].EstimatedRho > res.Windows[0].EstimatedRho) {
+		t.Errorf("overcast rho %v not above sunny %v",
+			res.Windows[1].EstimatedRho, res.Windows[0].EstimatedRho)
+	}
+}
+
+func TestClosedLoopMarkovWeek(t *testing.T) {
+	const n = 10
+	seq, err := solar.DefaultWeatherModel().Sequence(solar.WeatherSunny, 7, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		NumSensors: n,
+		Factory:    fleetFactory(t, n),
+		Weather:    seq,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 7 {
+		t.Fatalf("windows = %d", len(res.Windows))
+	}
+	table := res.ReportTable()
+	for _, want := range []string{"window", "avg-utility", "run average:"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("report missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestClosedLoopDeterministic(t *testing.T) {
+	cfg := Config{
+		NumSensors: 8,
+		Factory:    fleetFactory(t, 8),
+		Weather:    []solar.Weather{solar.WeatherSunny, solar.WeatherPartlyCloudy},
+		Estimate:   true,
+		Seed:       4,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AverageUtility != b.AverageUtility || a.Replans != b.Replans {
+		t.Error("controller not deterministic per seed")
+	}
+}

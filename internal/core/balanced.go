@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Symmetric-instance closed forms. When every sensor covers every
+// target with the same detection probability p (the paper's Figure-8
+// workload), the per-slot utility depends only on the slot's sensor
+// count through the concave function g(k) = Σ_j w_j (1 − (1−p)^k).
+// Maximizing Σ_t g(k_t) subject to Σ k_t = n over T slots is then a
+// concave resource-allocation problem whose optimum is the balanced
+// assignment (all k_t within one of each other) — so the optimum has a
+// closed form and the greedy provably attains it.
+
+// BalancedSchedule returns the balanced placement schedule: sensors
+// striped across slots so every slot holds ⌊n/T⌋ or ⌈n/T⌉ sensors.
+func BalancedSchedule(n, periodSlots int) (*Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: non-positive sensor count %d", n)
+	}
+	if periodSlots <= 0 {
+		return nil, fmt.Errorf("core: non-positive period %d", periodSlots)
+	}
+	assign := make([]int, n)
+	for v := range assign {
+		assign[v] = v % periodSlots
+	}
+	return NewSchedule(ModePlacement, periodSlots, assign)
+}
+
+// SymmetricOptimalValue returns the optimal period utility of the
+// symmetric instance: n identical sensors, T slots, targets with
+// weights and common detection probability p. By concavity of
+// g(k) = Σ w_j (1 − (1−p)^k) the balanced allocation is optimal:
+// OPT = Σ_t g(k_t) with k_t ∈ {⌊n/T⌋, ⌈n/T⌉}.
+func SymmetricOptimalValue(p float64, weights []float64, n, periodSlots int) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("core: probability %v outside [0,1]", p)
+	}
+	if n <= 0 || periodSlots <= 0 {
+		return 0, fmt.Errorf("core: non-positive size n=%d T=%d", n, periodSlots)
+	}
+	var wsum float64
+	for j, w := range weights {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return 0, fmt.Errorf("core: weight %d = %v invalid", j, w)
+		}
+		wsum += w
+	}
+	g := func(k int) float64 {
+		return wsum * (1 - math.Pow(1-p, float64(k)))
+	}
+	lo := n / periodSlots
+	hi := lo + 1
+	nHi := n % periodSlots // slots holding ⌈n/T⌉
+	nLo := periodSlots - nHi
+	return float64(nLo)*g(lo) + float64(nHi)*g(hi), nil
+}

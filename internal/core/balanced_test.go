@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cool/internal/energy"
+	"cool/internal/submodular"
+)
+
+func symmetricInstance(t *testing.T, n, m int, p float64, rho float64) (Instance, *submodular.DetectionUtility) {
+	t.Helper()
+	targets := make([]submodular.DetectionTarget, m)
+	for j := range targets {
+		probs := make(map[int]float64, n)
+		for v := 0; v < n; v++ {
+			probs[v] = p
+		}
+		targets[j] = submodular.DetectionTarget{Weight: 1, Probs: probs}
+	}
+	u, err := submodular.NewDetectionUtility(n, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, err := energy.PeriodFromRho(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Instance{
+		N:       n,
+		Period:  period,
+		Factory: func() submodular.RemovalOracle { return u.Oracle() },
+	}, u
+}
+
+func TestBalancedScheduleShape(t *testing.T) {
+	s, err := BalancedSchedule(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := s.SlotSizes()
+	if sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 2 || sizes[3] != 2 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if _, err := BalancedSchedule(0, 4); err == nil {
+		t.Error("zero sensors accepted")
+	}
+	if _, err := BalancedSchedule(4, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+// TestSymmetricOptimalMatchesExact: the closed form equals the exact
+// branch-and-bound optimum on symmetric instances.
+func TestSymmetricOptimalMatchesExact(t *testing.T) {
+	cases := []struct {
+		n, m int
+		p    float64
+		rho  float64
+	}{
+		{5, 1, 0.4, 3},
+		{7, 2, 0.4, 1},
+		{8, 3, 0.6, 2},
+		{6, 1, 0.25, 3},
+	}
+	for _, c := range cases {
+		in, _ := symmetricInstance(t, c.n, c.m, c.p, c.rho)
+		exact, err := OptimalValue(in, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights := make([]float64, c.m)
+		for j := range weights {
+			weights[j] = 1
+		}
+		closed, err := SymmetricOptimalValue(c.p, weights, c.n, in.Period.Slots())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-closed) > 1e-9 {
+			t.Errorf("n=%d m=%d p=%v rho=%v: exact %v != closed form %v",
+				c.n, c.m, c.p, c.rho, exact, closed)
+		}
+	}
+}
+
+// TestGreedyAttainsSymmetricOptimum: on symmetric instances the greedy
+// provably reaches the balanced optimum, not just half of it.
+func TestGreedyAttainsSymmetricOptimum(t *testing.T) {
+	for _, n := range []int{8, 17, 30} {
+		in, _ := symmetricInstance(t, n, 2, 0.4, 3)
+		s, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, err := SymmetricOptimalValue(0.4, []float64{1, 1}, n, in.Period.Slots())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.PeriodUtility(in.Factory); math.Abs(got-closed) > 1e-9 {
+			t.Errorf("n=%d: greedy %v != balanced optimum %v", n, got, closed)
+		}
+		// The balanced schedule itself evaluates to the same value.
+		b, err := BalancedSchedule(n, in.Period.Slots())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.PeriodUtility(in.Factory); math.Abs(got-closed) > 1e-9 {
+			t.Errorf("n=%d: balanced schedule %v != closed form %v", n, got, closed)
+		}
+	}
+}
+
+func TestSymmetricOptimalValidation(t *testing.T) {
+	if _, err := SymmetricOptimalValue(1.5, []float64{1}, 4, 4); err == nil {
+		t.Error("bad probability accepted")
+	}
+	if _, err := SymmetricOptimalValue(0.4, []float64{0}, 4, 4); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := SymmetricOptimalValue(0.4, []float64{1}, 0, 4); err == nil {
+		t.Error("zero sensors accepted")
+	}
+	if _, err := SymmetricOptimalValue(0.4, []float64{1}, 4, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PaperUpperBound is the closed-form optimum bound the paper uses in
+// Figure 8 for a single target covered by all n sensors with identical
+// detection probability p: U* = 1 − (1−p)^⌈n/T⌉. It bounds the average
+// per-slot utility because no slot can host more than ⌈n/T⌉ sensors in
+// every slot simultaneously under the per-period budget.
+func PaperUpperBound(p float64, n, periodSlots int) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("core: probability %v outside [0,1]", p)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("core: non-positive sensor count %d", n)
+	}
+	if periodSlots <= 0 {
+		return 0, fmt.Errorf("core: non-positive period %d", periodSlots)
+	}
+	perSlot := (n + periodSlots - 1) / periodSlots // ⌈n/T⌉
+	return 1 - math.Pow(1-p, float64(perSlot)), nil
+}
+
+// SingletonSumBound returns Σ_t min(U(V), Σ_v gain_∅(v at t))… reduced
+// to its useful form: the period utility can never exceed T·U(V),
+// the value of activating every sensor in every slot. It is loose but
+// applies to any utility.
+func SingletonSumBound(in Instance) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	o := in.Factory()
+	for v := 0; v < in.N; v++ {
+		o.Add(v)
+	}
+	return float64(in.Period.Slots()) * o.Value(), nil
+}
+
+// GreedyLowerBound returns the greedy period utility — by Lemma 4.1 at
+// least half the optimum, so [greedy, 2·greedy] brackets OPT.
+func GreedyLowerBound(in Instance) (float64, error) {
+	s, err := Greedy(in)
+	if err != nil {
+		return 0, err
+	}
+	return s.PeriodUtility(in.Factory), nil
+}
+
+// ApproximationBracket returns (lower, upper) bounds on the optimal
+// period utility using the cheapest available machinery: greedy as the
+// lower bound, and min(2·greedy, T·U(V)) as the upper bound.
+func ApproximationBracket(in Instance) (lower, upper float64, err error) {
+	g, err := GreedyLowerBound(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	full, err := SingletonSumBound(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	upper = 2 * g
+	if full < upper {
+		upper = full
+	}
+	return g, upper, nil
+}

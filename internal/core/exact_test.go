@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cool/internal/stats"
+)
+
+func TestExactMatchesBruteForcePlacement(t *testing.T) {
+	rng := stats.NewRNG(21)
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(4)
+		m := 1 + rng.Intn(3)
+		rho := float64(1 + rng.Intn(3))
+		in, u := detectionInstance(t, rng, n, m, rho)
+		s, err := Exact(in, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.PeriodUtility(in.Factory)
+		want := bruteForceOptimum(u, n, in.Period.Slots(), ModePlacement)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: exact %v != brute force %v (n=%d T=%d)",
+				trial, got, want, n, in.Period.Slots())
+		}
+		if err := s.CheckFeasible(in.Period); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestExactMatchesBruteForceRemoval(t *testing.T) {
+	rng := stats.NewRNG(22)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(3)
+		m := 1 + rng.Intn(2)
+		in, u := detectionInstance(t, rng, n, m, 0.5)
+		s, err := Exact(in, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.PeriodUtility(in.Factory)
+		want := bruteForceOptimum(u, n, in.Period.Slots(), ModeRemoval)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: exact removal %v != brute force %v", trial, got, want)
+		}
+	}
+}
+
+func TestExactAtLeastGreedy(t *testing.T) {
+	rng := stats.NewRNG(23)
+	for trial := 0; trial < 10; trial++ {
+		in, _ := detectionInstance(t, rng, 8, 3, 3)
+		g, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Exact(in, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv := g.PeriodUtility(in.Factory)
+		ev := e.PeriodUtility(in.Factory)
+		if ev < gv-1e-9 {
+			t.Errorf("trial %d: exact %v below greedy %v", trial, ev, gv)
+		}
+	}
+}
+
+func TestExactRejectsHugeInstances(t *testing.T) {
+	rng := stats.NewRNG(24)
+	in, _ := detectionInstance(t, rng, 200, 2, 3)
+	if _, err := Exact(in, ExactOptions{MaxNodes: 1000}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactNodeBudget(t *testing.T) {
+	rng := stats.NewRNG(25)
+	// Moderate instance with a tiny node budget: either it solves within
+	// the budget (fine) or reports ErrTooLarge — it must not loop.
+	in, _ := detectionInstance(t, rng, 12, 4, 3)
+	_, err := Exact(in, ExactOptions{MaxNodes: 50})
+	if err != nil && !errors.Is(err, ErrTooLarge) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestExactValidatesInstance(t *testing.T) {
+	if _, err := Exact(Instance{}, ExactOptions{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestOptimalValue(t *testing.T) {
+	rng := stats.NewRNG(26)
+	in, u := detectionInstance(t, rng, 4, 2, 1)
+	v, err := OptimalValue(in, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceOptimum(u, 4, 2, ModePlacement)
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("OptimalValue = %v, want %v", v, want)
+	}
+}
+
+func TestSubsetSumGadgetPartitionable(t *testing.T) {
+	// {3,1,1,2,2,1}: total 10, perfect partition {3,2} vs {1,1,2,1}.
+	g, err := NewSubsetSumGadget([]int64{3, 1, 1, 2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.HasPerfectPartition(ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("partitionable instance reported unpartitionable")
+	}
+}
+
+func TestSubsetSumGadgetUnpartitionable(t *testing.T) {
+	cases := [][]int64{
+		{1, 2},       // total 3 (odd)
+		{1, 1, 4},    // total 6 but no subset sums to 3
+		{2, 2, 2, 5}, // total 11 (odd)
+	}
+	for i, items := range cases {
+		g, err := NewSubsetSumGadget(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := g.HasPerfectPartition(ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("case %d (%v): unpartitionable instance reported partitionable", i, items)
+		}
+	}
+}
+
+func TestSubsetSumGadgetValidation(t *testing.T) {
+	if _, err := NewSubsetSumGadget(nil); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := NewSubsetSumGadget([]int64{1, 0}); err == nil {
+		t.Error("zero item accepted")
+	}
+	if _, err := NewSubsetSumGadget([]int64{-3}); err == nil {
+		t.Error("negative item accepted")
+	}
+}
+
+func TestSubsetSumPartitionTarget(t *testing.T) {
+	g, err := NewSubsetSumGadget([]int64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Log1p(4)
+	if math.Abs(g.PartitionTarget()-want) > 1e-12 {
+		t.Errorf("PartitionTarget = %v, want %v", g.PartitionTarget(), want)
+	}
+	// And the optimum indeed achieves it: one item per slot.
+	opt, err := OptimalValue(g.Instance, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-want) > 1e-9 {
+		t.Errorf("optimal = %v, want %v", opt, want)
+	}
+}
+
+func TestPaperUpperBound(t *testing.T) {
+	// n=8, T=4 → ⌈8/4⌉ = 2 sensors per slot: U* = 1 − 0.6² = 0.64.
+	got, err := PaperUpperBound(0.4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.64) > 1e-12 {
+		t.Errorf("bound = %v, want 0.64", got)
+	}
+	// Ceiling: n=9, T=4 → 3 per slot.
+	got, err = PaperUpperBound(0.4, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(1-math.Pow(0.6, 3))) > 1e-12 {
+		t.Errorf("bound = %v", got)
+	}
+	if _, err := PaperUpperBound(1.5, 4, 4); err == nil {
+		t.Error("bad probability accepted")
+	}
+	if _, err := PaperUpperBound(0.4, 0, 4); err == nil {
+		t.Error("zero sensors accepted")
+	}
+	if _, err := PaperUpperBound(0.4, 4, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestSingletonSumBoundAndBracket(t *testing.T) {
+	rng := stats.NewRNG(27)
+	in, u := detectionInstance(t, rng, 6, 2, 3)
+	full, err := SingletonSumBound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, in.N)
+	for i := range all {
+		all[i] = i
+	}
+	want := float64(in.Period.Slots()) * u.Eval(all)
+	if math.Abs(full-want) > 1e-9 {
+		t.Errorf("SingletonSumBound = %v, want %v", full, want)
+	}
+
+	lower, upper, err := ApproximationBracket(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimalValue(in, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lower <= opt+1e-9 && opt <= upper+1e-9) {
+		t.Errorf("bracket [%v, %v] does not contain OPT %v", lower, upper, opt)
+	}
+	if _, err := SingletonSumBound(Instance{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	if _, _, err := ApproximationBracket(Instance{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	if _, err := GreedyLowerBound(Instance{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScheduleJSON hardens the schedule decoder against malformed
+// input: it must either reject or produce a structurally valid
+// schedule — never panic or accept an inconsistent one.
+func FuzzScheduleJSON(f *testing.F) {
+	f.Add([]byte(`{"mode":"placement","period":4,"assign":[0,1,2,3]}`))
+	f.Add([]byte(`{"mode":"removal","period":3,"assign":[0,-1,2]}`))
+	f.Add([]byte(`{"mode":"placement","period":0,"assign":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"mode":"placement","period":2,"assign":[9]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // rejected: fine
+		}
+		if s.Period() <= 0 {
+			t.Fatalf("accepted schedule with period %d", s.Period())
+		}
+		for v := 0; v < s.NumSensors(); v++ {
+			for slot := 0; slot < s.Period(); slot++ {
+				s.IsActiveAt(v, slot) // must not panic
+			}
+		}
+		for slot := 0; slot < s.Period(); slot++ {
+			for _, v := range s.ActiveAt(slot) {
+				if v < 0 || v >= s.NumSensors() {
+					t.Fatalf("active set names sensor %d outside [0,%d)", v, s.NumSensors())
+				}
+			}
+		}
+	})
+}
+
+// FuzzSubsetSumGadget checks that gadget construction never panics and
+// only accepts positive items.
+func FuzzSubsetSumGadget(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3))
+	f.Add(int64(0), int64(5), int64(5))
+	f.Add(int64(-7), int64(1), int64(1))
+	f.Fuzz(func(t *testing.T, a, b, c int64) {
+		g, err := NewSubsetSumGadget([]int64{a, b, c})
+		if err != nil {
+			if a > 0 && b > 0 && c > 0 {
+				t.Fatalf("positive items rejected: %v", err)
+			}
+			return
+		}
+		if a <= 0 || b <= 0 || c <= 0 {
+			t.Fatal("non-positive item accepted")
+		}
+		if g.PartitionTarget() <= 0 {
+			t.Fatal("non-positive partition target")
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cool/internal/energy"
+	"cool/internal/submodular"
+)
+
+// SubsetSumGadget is the reduction of Theorem 3.1: a Subset-Sum
+// instance {I_1, …, I_n} becomes a scheduling instance with one
+// all-covering target, period T = 2 (ρ = 1), and the utility
+// U(S) = log(1 + Σ_{v∈S} I_v). A perfect partition exists iff the
+// optimal period utility reaches 2·log(1 + Σ I_i / 2).
+type SubsetSumGadget struct {
+	// Items are the Subset-Sum integers.
+	Items []int64
+	// Utility is the log-sum utility of the reduction.
+	Utility *submodular.LogSumUtility
+	// Instance is the resulting scheduling instance.
+	Instance Instance
+}
+
+// NewSubsetSumGadget builds the reduction. Items must be positive.
+func NewSubsetSumGadget(items []int64) (*SubsetSumGadget, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("core: empty subset-sum instance")
+	}
+	sizes := make([]float64, len(items))
+	for i, it := range items {
+		if it <= 0 {
+			return nil, fmt.Errorf("core: item %d = %d not positive", i, it)
+		}
+		sizes[i] = float64(it)
+	}
+	u, err := submodular.NewLogSumUtility(sizes)
+	if err != nil {
+		return nil, err
+	}
+	period, err := energy.PeriodFromRho(1)
+	if err != nil {
+		return nil, err
+	}
+	return &SubsetSumGadget{
+		Items:   append([]int64(nil), items...),
+		Utility: u,
+		Instance: Instance{
+			N:       len(items),
+			Period:  period,
+			Factory: func() submodular.RemovalOracle { return u.Oracle() },
+		},
+	}, nil
+}
+
+// PartitionTarget returns the utility value 2·log(1 + total/2) that the
+// optimal schedule attains exactly when a perfect partition exists.
+func (g *SubsetSumGadget) PartitionTarget() float64 {
+	var total float64
+	for _, it := range g.Items {
+		total += float64(it)
+	}
+	return 2 * math.Log1p(total/2)
+}
+
+// HasPerfectPartition decides the Subset-Sum (perfect partition)
+// question by solving the scheduling gadget exactly and comparing the
+// optimum against the partition target — the forward direction of the
+// Theorem 3.1 reduction, executable for small instances.
+func (g *SubsetSumGadget) HasPerfectPartition(opts ExactOptions) (bool, error) {
+	var total int64
+	for _, it := range g.Items {
+		total += it
+	}
+	if total%2 != 0 {
+		return false, nil
+	}
+	opt, err := OptimalValue(g.Instance, opts)
+	if err != nil {
+		return false, err
+	}
+	return opt >= g.PartitionTarget()-1e-9, nil
+}

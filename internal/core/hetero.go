@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cool/internal/energy"
+	"cool/internal/submodular"
+)
+
+// This file implements the paper's second future-work item
+// (Section VIII): scheduling for heterogeneous networks where sensors
+// have different charging patterns (e.g. mixed one- and two-panel
+// motes, or shaded vs sunlit placements).
+//
+// Model: sensor i has its own normalized period T_i with one active
+// slot per period (ρ_i ≥ 1). A schedule picks an offset
+// o_i ∈ [0, T_i) per sensor; the sensor is then active at slots
+// o_i + k·T_i, which keeps consecutive activations exactly T_i apart
+// and hence energy-feasible. Over the hyperperiod H = lcm(T_i), the
+// choice set forms a partition matroid (one offset per sensor), and the
+// objective F(selection) = Σ_{t<H} U(S_t) is monotone submodular in the
+// selected (sensor, offset) pairs, so the greedy retains the
+// 1/2-approximation — the same argument as Lemma 4.1 lifted to matroid
+// constraints.
+
+// HeteroInstance is a heterogeneous scheduling problem.
+type HeteroInstance struct {
+	// Periods holds each sensor's normalized charging period; all must
+	// be placement-regime (one active slot per period).
+	Periods []energy.Period
+	// Factory builds per-slot utility oracles (as in Instance).
+	Factory OracleFactory
+	// MaxHyperperiod caps lcm(T_i) to keep the schedule tractable
+	// (default 1024 slots).
+	MaxHyperperiod int
+}
+
+// Validate reports whether the instance is well formed.
+func (in HeteroInstance) Validate() error {
+	if len(in.Periods) == 0 {
+		return errors.New("core: hetero instance has no sensors")
+	}
+	if in.Factory == nil {
+		return errors.New("core: nil oracle factory")
+	}
+	for i, p := range in.Periods {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("core: sensor %d: %w", i, err)
+		}
+		if p.ActiveSlots != 1 {
+			return fmt.Errorf(
+				"core: sensor %d has ρ < 1 (active slots %d); the heterogeneous scheduler requires the placement regime",
+				i, p.ActiveSlots)
+		}
+	}
+	return nil
+}
+
+// gcd and lcm over positive ints.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Hyperperiod returns H = lcm of all sensor periods.
+func (in HeteroInstance) Hyperperiod() (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	maxH := in.MaxHyperperiod
+	if maxH <= 0 {
+		maxH = 1024
+	}
+	h := 1
+	for _, p := range in.Periods {
+		t := p.Slots()
+		h = h / gcd(h, t) * t
+		if h > maxH {
+			return 0, fmt.Errorf("core: hyperperiod exceeds cap %d", maxH)
+		}
+	}
+	return h, nil
+}
+
+// HeteroSchedule is the result of heterogeneous scheduling: per-sensor
+// offsets with per-sensor periods, repeating every Hyperperiod slots.
+type HeteroSchedule struct {
+	periods []int // per-sensor period length in slots
+	offsets []int // per-sensor activation offset in [0, period)
+	hyper   int
+	slots   [][]int // active sets per slot of one hyperperiod
+}
+
+// NumSensors returns the number of sensors.
+func (s *HeteroSchedule) NumSensors() int { return len(s.offsets) }
+
+// Hyperperiod returns H.
+func (s *HeteroSchedule) Hyperperiod() int { return s.hyper }
+
+// Offsets returns a copy of the per-sensor offsets.
+func (s *HeteroSchedule) Offsets() []int { return append([]int(nil), s.offsets...) }
+
+// ActiveAt returns the sensors active at absolute slot t. The returned
+// slice must not be modified.
+func (s *HeteroSchedule) ActiveAt(t int) []int {
+	slot := t % s.hyper
+	if slot < 0 {
+		slot += s.hyper
+	}
+	return s.slots[slot]
+}
+
+// IsActiveAt reports whether sensor v is active at absolute slot t.
+func (s *HeteroSchedule) IsActiveAt(v, t int) bool {
+	if v < 0 || v >= len(s.offsets) {
+		return false
+	}
+	slot := t % s.hyper
+	if slot < 0 {
+		slot += s.hyper
+	}
+	return slot%s.periods[v] == s.offsets[v]
+}
+
+// CheckFeasible verifies each sensor's activations are exactly its
+// period apart within the hyperperiod.
+func (s *HeteroSchedule) CheckFeasible() error {
+	for v := range s.offsets {
+		last := -1
+		first := -1
+		for t := 0; t < s.hyper; t++ {
+			if !s.IsActiveAt(v, t) {
+				continue
+			}
+			if first < 0 {
+				first = t
+			}
+			if last >= 0 && t-last != s.periods[v] {
+				return fmt.Errorf("core: sensor %d activations %d and %d violate period %d",
+					v, last, t, s.periods[v])
+			}
+			last = t
+		}
+		if first < 0 {
+			return fmt.Errorf("core: sensor %d never active", v)
+		}
+		// Wrap-around spacing.
+		if wrap := first + s.hyper - last; wrap != s.periods[v] {
+			return fmt.Errorf("core: sensor %d wrap spacing %d != period %d", v, wrap, s.periods[v])
+		}
+	}
+	return nil
+}
+
+// HyperperiodUtility evaluates Σ_{t<H} U(S_t).
+func (s *HeteroSchedule) HyperperiodUtility(factory OracleFactory) float64 {
+	var total float64
+	for t := 0; t < s.hyper; t++ {
+		o := factory()
+		for _, v := range s.slots[t] {
+			o.Add(v)
+		}
+		total += o.Value()
+	}
+	return total
+}
+
+// AverageUtility returns the average per-slot utility, normalized per
+// target when targets > 1.
+func (s *HeteroSchedule) AverageUtility(factory OracleFactory, targets int) float64 {
+	if targets <= 0 {
+		targets = 1
+	}
+	return s.HyperperiodUtility(factory) / float64(s.hyper) / float64(targets)
+}
+
+// GreedyHetero computes the heterogeneous greedy schedule: at each
+// step, assign the unscheduled sensor and offset whose activation
+// pattern yields the largest total marginal utility across the
+// hyperperiod. Greedy over a partition matroid with a monotone
+// submodular objective: ≥ 1/2 of the optimal offset assignment.
+func GreedyHetero(in HeteroInstance) (*HeteroSchedule, error) {
+	h, err := in.Hyperperiod()
+	if err != nil {
+		return nil, err
+	}
+	n := len(in.Periods)
+	oracles := make([]submodular.RemovalOracle, h)
+	for t := range oracles {
+		oracles[t] = in.Factory()
+	}
+	periods := make([]int, n)
+	for v, p := range in.Periods {
+		periods[v] = p.Slots()
+	}
+	offsets := make([]int, n)
+	for v := range offsets {
+		offsets[v] = -1
+	}
+
+	patternGain := func(v, offset int) float64 {
+		var g float64
+		for t := offset; t < h; t += periods[v] {
+			g += oracles[t].Gain(v)
+		}
+		return g
+	}
+
+	for step := 0; step < n; step++ {
+		bestV, bestO, bestGain := -1, -1, -1.0
+		for v := 0; v < n; v++ {
+			if offsets[v] >= 0 {
+				continue
+			}
+			for o := 0; o < periods[v]; o++ {
+				if g := patternGain(v, o); g > bestGain {
+					bestV, bestO, bestGain = v, o, g
+				}
+			}
+		}
+		if bestV < 0 {
+			return nil, fmt.Errorf("core: hetero greedy stuck at step %d", step)
+		}
+		offsets[bestV] = bestO
+		for t := bestO; t < h; t += periods[bestV] {
+			oracles[t].Add(bestV)
+		}
+	}
+
+	s := &HeteroSchedule{periods: periods, offsets: offsets, hyper: h}
+	s.slots = make([][]int, h)
+	for t := 0; t < h; t++ {
+		for v := 0; v < n; v++ {
+			if t%periods[v] == offsets[v] {
+				s.slots[t] = append(s.slots[t], v)
+			}
+		}
+	}
+	return s, nil
+}
+
+// ExactHetero enumerates all offset assignments (Π T_i combinations)
+// and returns the optimum; feasible only for tiny instances, as the
+// evaluation yardstick for GreedyHetero.
+func ExactHetero(in HeteroInstance, maxCombos int64) (*HeteroSchedule, error) {
+	h, err := in.Hyperperiod()
+	if err != nil {
+		return nil, err
+	}
+	if maxCombos <= 0 {
+		maxCombos = 10_000_000
+	}
+	n := len(in.Periods)
+	periods := make([]int, n)
+	combos := int64(1)
+	for v, p := range in.Periods {
+		periods[v] = p.Slots()
+		combos *= int64(periods[v])
+		if combos > maxCombos {
+			return nil, fmt.Errorf("%w: %d offset combinations", ErrTooLarge, combos)
+		}
+	}
+
+	offsets := make([]int, n)
+	best := make([]int, n)
+	bestVal := -1.0
+	evalCurrent := func() float64 {
+		var total float64
+		for t := 0; t < h; t++ {
+			o := in.Factory()
+			for v := 0; v < n; v++ {
+				if t%periods[v] == offsets[v] {
+					o.Add(v)
+				}
+			}
+			total += o.Value()
+		}
+		return total
+	}
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			if val := evalCurrent(); val > bestVal {
+				bestVal = val
+				copy(best, offsets)
+			}
+			return
+		}
+		for o := 0; o < periods[v]; o++ {
+			offsets[v] = o
+			rec(v + 1)
+		}
+	}
+	rec(0)
+
+	s := &HeteroSchedule{periods: periods, offsets: best, hyper: h}
+	s.slots = make([][]int, h)
+	for t := 0; t < h; t++ {
+		for v := 0; v < n; v++ {
+			if t%periods[v] == best[v] {
+				s.slots[t] = append(s.slots[t], v)
+			}
+		}
+	}
+	return s, nil
+}

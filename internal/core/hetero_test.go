@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cool/internal/energy"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+)
+
+func heteroInstance(t *testing.T, rng *stats.RNG, rhos []float64, m int) (HeteroInstance, *submodular.DetectionUtility) {
+	t.Helper()
+	n := len(rhos)
+	u := testUtility(t, rng, n, m)
+	periods := make([]energy.Period, n)
+	for i, rho := range rhos {
+		p, err := energy.PeriodFromRho(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		periods[i] = p
+	}
+	return HeteroInstance{
+		Periods: periods,
+		Factory: func() submodular.RemovalOracle { return u.Oracle() },
+	}, u
+}
+
+func TestHeteroValidate(t *testing.T) {
+	rng := stats.NewRNG(81)
+	in, _ := heteroInstance(t, rng, []float64{3, 1, 5}, 2)
+	if err := in.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	if err := (HeteroInstance{}).Validate(); err == nil {
+		t.Error("empty instance accepted")
+	}
+	bad := in
+	bad.Factory = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil factory accepted")
+	}
+	// ρ < 1 is rejected.
+	inRemoval, _ := heteroInstance(t, rng, []float64{3}, 1)
+	p, err := energy.PeriodFromRho(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRemoval.Periods[0] = p
+	if err := inRemoval.Validate(); err == nil {
+		t.Error("removal-regime period accepted")
+	}
+}
+
+func TestHeteroHyperperiod(t *testing.T) {
+	rng := stats.NewRNG(82)
+	in, _ := heteroInstance(t, rng, []float64{3, 1, 5}, 2) // T = 4, 2, 6 -> lcm 12
+	h, err := in.Hyperperiod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 12 {
+		t.Errorf("hyperperiod = %d, want 12", h)
+	}
+	// Cap enforcement.
+	in.MaxHyperperiod = 8
+	if _, err := in.Hyperperiod(); err == nil {
+		t.Error("hyperperiod cap not enforced")
+	}
+}
+
+func TestGreedyHeteroFeasibleAndHomogeneousMatch(t *testing.T) {
+	// With identical periods, the heterogeneous greedy must match the
+	// homogeneous greedy's utility (same search space).
+	rng := stats.NewRNG(83)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(5)
+		rhos := make([]float64, n)
+		for i := range rhos {
+			rhos[i] = 3
+		}
+		in, u := heteroInstance(t, rng, rhos, 1+rng.Intn(3))
+		hs, err := GreedyHetero(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hs.CheckFeasible(); err != nil {
+			t.Fatal(err)
+		}
+		homo := Instance{
+			N:       n,
+			Period:  in.Periods[0],
+			Factory: in.Factory,
+		}
+		s, err := Greedy(homo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv := hs.AverageUtility(in.Factory, 1)
+		sv := s.AverageUtility(homo.Factory, 1)
+		if math.Abs(hv-sv) > 1e-9 {
+			t.Errorf("trial %d (n=%d): hetero %v != homo %v", trial, n, hv, sv)
+		}
+		_ = u
+	}
+}
+
+func TestGreedyHeteroMixedPeriods(t *testing.T) {
+	rng := stats.NewRNG(84)
+	in, u := heteroInstance(t, rng, []float64{1, 1, 3, 3, 5, 5}, 2)
+	hs, err := GreedyHetero(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.CheckFeasible(); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Hyperperiod() != 12 {
+		t.Errorf("hyperperiod = %d, want lcm(2,4,6)=12", hs.Hyperperiod())
+	}
+	// Fast-charging sensors (T=2) appear 6 times per hyperperiod, slow
+	// ones (T=6) twice.
+	counts := make([]int, 6)
+	for t2 := 0; t2 < hs.Hyperperiod(); t2++ {
+		for _, v := range hs.ActiveAt(t2) {
+			counts[v]++
+		}
+	}
+	want := []int{6, 6, 3, 3, 2, 2}
+	for v, c := range counts {
+		if c != want[v] {
+			t.Errorf("sensor %d active %d times, want %d", v, c, want[v])
+		}
+	}
+	_ = u
+}
+
+// TestGreedyHeteroApproximation verifies the lifted 1/2 bound against
+// exhaustive offset enumeration on random mixed instances.
+func TestGreedyHeteroApproximation(t *testing.T) {
+	rng := stats.NewRNG(85)
+	choices := []float64{1, 2, 3}
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(3)
+		rhos := make([]float64, n)
+		for i := range rhos {
+			rhos[i] = choices[rng.Intn(len(choices))]
+		}
+		in, _ := heteroInstance(t, rng, rhos, 1+rng.Intn(2))
+		greedy, err := GreedyHetero(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactHetero(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv := greedy.HyperperiodUtility(in.Factory)
+		ev := exact.HyperperiodUtility(in.Factory)
+		if gv < ev/2-1e-9 {
+			t.Errorf("trial %d: hetero greedy %v < OPT/2 (OPT=%v, rhos=%v)", trial, gv, ev, rhos)
+		}
+		if gv > ev+1e-9 {
+			t.Errorf("trial %d: hetero greedy %v exceeds OPT %v", trial, gv, ev)
+		}
+		if err := exact.CheckFeasible(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExactHeteroRejectsHuge(t *testing.T) {
+	rng := stats.NewRNG(86)
+	rhos := make([]float64, 20)
+	for i := range rhos {
+		rhos[i] = 3
+	}
+	in, _ := heteroInstance(t, rng, rhos, 2)
+	if _, err := ExactHetero(in, 1000); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestHeteroScheduleAccessors(t *testing.T) {
+	rng := stats.NewRNG(87)
+	in, _ := heteroInstance(t, rng, []float64{1, 3}, 1)
+	hs, err := GreedyHetero(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.NumSensors() != 2 {
+		t.Errorf("NumSensors = %d", hs.NumSensors())
+	}
+	off := hs.Offsets()
+	off[0] = 99
+	if hs.Offsets()[0] == 99 {
+		t.Error("Offsets does not copy")
+	}
+	// Tiling and negative wrap.
+	if got, want := hs.ActiveAt(-1), hs.ActiveAt(hs.Hyperperiod()-1); len(got) != len(want) {
+		t.Error("negative slot does not wrap")
+	}
+	if hs.IsActiveAt(-1, 0) || hs.IsActiveAt(99, 0) {
+		t.Error("out-of-range sensor reported active")
+	}
+	if hs.AverageUtility(in.Factory, 0) != hs.AverageUtility(in.Factory, 1) {
+		t.Error("targets<=0 should default to 1")
+	}
+}
+
+// TestGreedyHeteroPrefersFastChargers: with one target and limited
+// coverage, the scheduler exploits fast-charging sensors' extra active
+// slots — total utility with a fast charger strictly exceeds the same
+// network where that sensor is slow.
+func TestGreedyHeteroPrefersFastChargers(t *testing.T) {
+	probs := map[int]float64{0: 0.5, 1: 0.5}
+	u, err := submodular.NewDetectionUtility(2, []submodular.DetectionTarget{
+		{Weight: 1, Probs: probs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	build := func(rho0 float64) float64 {
+		p0, err := energy.PeriodFromRho(rho0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := energy.PeriodFromRho(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := HeteroInstance{Periods: []energy.Period{p0, p1}, Factory: factory}
+		hs, err := GreedyHetero(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hs.AverageUtility(factory, 1)
+	}
+	fast := build(1) // sensor 0 charges fast (T=2)
+	slow := build(3) // both slow (T=4)
+	if fast <= slow {
+		t.Errorf("fast-charger average %v not above homogeneous %v", fast, slow)
+	}
+}

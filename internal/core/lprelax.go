@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cool/internal/lp"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+)
+
+// Linearizable is a utility whose value decomposes over weighted
+// coverage items, enabling the exact linearization of the paper's
+// integer program (Section IV-A-1): z_{j,t} ≤ Σ_{v covers j} x(v,t),
+// z_{j,t} ≤ 1. CoverageUtility (and hence the paper's region-monitoring
+// utility of Equation 2) satisfies it.
+type Linearizable interface {
+	submodular.Function
+	Items() []submodular.CoverageItem
+}
+
+// LPRelaxation solves the LP relaxation of the one-period scheduling
+// problem for a linearizable utility and returns the fractional
+// activation matrix x[v][t] along with the LP optimum, which upper
+// bounds the optimal period utility.
+func LPRelaxation(util Linearizable, period int) (x [][]float64, opt float64, err error) {
+	if util == nil {
+		return nil, 0, errors.New("core: nil utility")
+	}
+	if period <= 0 {
+		return nil, 0, fmt.Errorf("core: non-positive period %d", period)
+	}
+	n := util.GroundSize()
+	if n == 0 {
+		return nil, 0, errors.New("core: empty ground set")
+	}
+	items := util.Items()
+	b := len(items)
+
+	// Variables: x(v,t) for v<n, t<period, then z(j,t) for j<b, t<period.
+	xIdx := func(v, t int) int { return v*period + t }
+	zIdx := func(j, t int) int { return n*period + j*period + t }
+	nVars := n*period + b*period
+
+	prob := lp.Problem{Objective: make([]float64, nVars)}
+	for j, item := range items {
+		for t := 0; t < period; t++ {
+			prob.Objective[zIdx(j, t)] = item.Value
+		}
+	}
+	// z_{j,t} − Σ_{v∈cover(j)} x(v,t) ≤ 0 and z_{j,t} ≤ 1.
+	for j, item := range items {
+		for t := 0; t < period; t++ {
+			row := make([]float64, nVars)
+			row[zIdx(j, t)] = 1
+			for _, v := range item.CoveredBy {
+				row[xIdx(v, t)] = -1
+			}
+			prob.Constraints = append(prob.Constraints,
+				lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 0})
+			cap := make([]float64, nVars)
+			cap[zIdx(j, t)] = 1
+			prob.Constraints = append(prob.Constraints,
+				lp.Constraint{Coeffs: cap, Sense: lp.LE, RHS: 1})
+		}
+	}
+	// Per-period activation budget: Σ_t x(v,t) ≤ 1 (ρ ≥ 1 normalization;
+	// the third condition of the paper's IP).
+	for v := 0; v < n; v++ {
+		row := make([]float64, nVars)
+		for t := 0; t < period; t++ {
+			row[xIdx(v, t)] = 1
+		}
+		prob.Constraints = append(prob.Constraints,
+			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1})
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: LP relaxation: %w", err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, 0, fmt.Errorf("core: LP relaxation status %v", sol.Status)
+	}
+	x = make([][]float64, n)
+	for v := 0; v < n; v++ {
+		x[v] = make([]float64, period)
+		for t := 0; t < period; t++ {
+			x[v][t] = sol.X[xIdx(v, t)]
+		}
+	}
+	return x, sol.Objective, nil
+}
+
+// LPRoundConditional derandomizes the LP rounding by the method of
+// conditional expectations: sensors are fixed one at a time to the slot
+// (or to inactivity) that maximizes the expected coverage value of the
+// final schedule, where the expectation treats still-unfixed sensors as
+// independently rounded per the fractional solution. For coverage
+// objectives this conditional expectation has the closed form
+// E[U] = Σ_{j,t} value_j · (1 − Π_{v∈cover(j)} (1 − x_{v,t})), so each
+// step is exact and the final deterministic schedule achieves at least
+// the randomized rounding's expectation (≥ (1−1/e)·LP* for coverage).
+func LPRoundConditional(util Linearizable, period int) (*Schedule, float64, error) {
+	x, opt, err := LPRelaxation(util, period)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := util.GroundSize()
+	items := util.Items()
+
+	// survive[j][t] = Π over not-yet-fixed coverers v of (1 − x[v][t]),
+	// times 0 if some fixed coverer was assigned to t. Track the
+	// product over unfixed sensors and a fixed-coverage flag.
+	type cell struct {
+		prod    float64
+		covered bool
+	}
+	state := make([][]cell, len(items))
+	for j := range items {
+		state[j] = make([]cell, period)
+		for t := 0; t < period; t++ {
+			prod := 1.0
+			for _, v := range items[j].CoveredBy {
+				prod *= 1 - x[v][t]
+			}
+			state[j][t] = cell{prod: prod}
+		}
+	}
+
+	// expected value contribution of item j at slot t.
+	cellValue := func(j, t int) float64 {
+		c := state[j][t]
+		if c.covered {
+			return items[j].Value
+		}
+		return items[j].Value * (1 - c.prod)
+	}
+
+	// itemsBySensor[v] = indices of items v covers.
+	itemsBySensor := make([][]int, n)
+	for j, item := range items {
+		for _, v := range item.CoveredBy {
+			itemsBySensor[v] = append(itemsBySensor[v], j)
+		}
+	}
+
+	assign := make([]int, n)
+	for v := 0; v < n; v++ {
+		// Candidate choices: each slot, or inactive (-1). Compare the
+		// delta in expected value over the items v covers.
+		bestChoice := -1
+		bestDelta := math.Inf(-1)
+		for choice := -1; choice < period; choice++ {
+			var delta float64
+			for _, j := range itemsBySensor[v] {
+				for t := 0; t < period; t++ {
+					before := cellValue(j, t)
+					c := state[j][t]
+					// Fixing v removes its fractional factor...
+					if !c.covered && x[v][t] < 1 {
+						c.prod /= 1 - x[v][t]
+					} else if !c.covered {
+						c.prod = reproduct(items[j].CoveredBy, x, t, v)
+					}
+					// ...and adds certainty if v is assigned here.
+					if choice == t {
+						c.covered = true
+					}
+					after := items[j].Value
+					if !c.covered {
+						after = items[j].Value * (1 - c.prod)
+					}
+					delta += after - before
+				}
+			}
+			if delta > bestDelta {
+				bestDelta = delta
+				bestChoice = choice
+			}
+		}
+		// Commit the best choice.
+		assign[v] = bestChoice
+		for _, j := range itemsBySensor[v] {
+			for t := 0; t < period; t++ {
+				c := &state[j][t]
+				if !c.covered {
+					if x[v][t] < 1 {
+						c.prod /= 1 - x[v][t]
+					} else {
+						c.prod = reproduct(items[j].CoveredBy, x, t, v)
+					}
+				}
+				if bestChoice == t {
+					c.covered = true
+				}
+			}
+		}
+		// Mark v as fixed so re-derived products exclude it.
+		for t := 0; t < period; t++ {
+			x[v][t] = 0
+		}
+	}
+
+	s, err := NewSchedule(ModePlacement, period, assign)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, opt, nil
+}
+
+// reproduct recomputes Π (1 − x[u][t]) over the item's coverers,
+// skipping the sensor being fixed — the fallback when a division by
+// (1 − x) would hit zero.
+func reproduct(coverers []int, x [][]float64, t, skip int) float64 {
+	prod := 1.0
+	for _, u := range coverers {
+		if u == skip {
+			continue
+		}
+		prod *= 1 - x[u][t]
+	}
+	return prod
+}
+
+// RoundingOptions tunes LP randomized rounding.
+type RoundingOptions struct {
+	// Trials is the number of independent rounding draws; the best is
+	// kept (default 16).
+	Trials int
+	// Repair greedily assigns any sensor the draw left inactive to its
+	// best slot, restoring the "each sensor active once per period"
+	// structure the paper's iterative repair targets (default true via
+	// NoRepair = false).
+	NoRepair bool
+}
+
+// LPRound solves the LP relaxation and rounds it to a feasible
+// placement schedule: each sensor independently picks slot t with
+// probability x(v,t) (and stays inactive with the residual
+// probability, unless repair is enabled). Rounding is feasible by
+// construction because Σ_t x(v,t) ≤ 1; the repair pass only adds
+// activations within the same per-period budget.
+func LPRound(
+	util Linearizable, period int, rng *stats.RNG, opts RoundingOptions,
+) (*Schedule, float64, error) {
+	if rng == nil {
+		return nil, 0, errors.New("core: nil RNG")
+	}
+	x, opt, err := LPRelaxation(util, period)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := util.GroundSize()
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 16
+	}
+	factory := func() submodular.RemovalOracle {
+		return submodular.NewEvalOracle(util)
+	}
+	if cov, ok := util.(*submodular.CoverageUtility); ok {
+		factory = func() submodular.RemovalOracle { return cov.Oracle() }
+	}
+
+	var best *Schedule
+	bestVal := -1.0
+	for trial := 0; trial < trials; trial++ {
+		assign := make([]int, n)
+		oracles := make([]submodular.RemovalOracle, period)
+		for t := range oracles {
+			oracles[t] = factory()
+		}
+		for v := 0; v < n; v++ {
+			assign[v] = -1
+			r := rng.Float64()
+			acc := 0.0
+			for t := 0; t < period; t++ {
+				acc += x[v][t]
+				if r < acc {
+					assign[v] = t
+					oracles[t].Add(v)
+					break
+				}
+			}
+		}
+		if !opts.NoRepair {
+			for v := 0; v < n; v++ {
+				if assign[v] >= 0 {
+					continue
+				}
+				bestT, bestGain := 0, -1.0
+				for t := 0; t < period; t++ {
+					if g := oracles[t].Gain(v); g > bestGain {
+						bestT, bestGain = t, g
+					}
+				}
+				assign[v] = bestT
+				oracles[bestT].Add(v)
+			}
+		}
+		var val float64
+		for _, o := range oracles {
+			val += o.Value()
+		}
+		if val > bestVal {
+			s, err := NewSchedule(ModePlacement, period, assign)
+			if err != nil {
+				return nil, 0, err
+			}
+			best, bestVal = s, val
+		}
+	}
+	return best, opt, nil
+}

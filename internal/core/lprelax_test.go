@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"cool/internal/stats"
+	"cool/internal/submodular"
+)
+
+func randomCoverage(t *testing.T, rng *stats.RNG, n, items int) *submodular.CoverageUtility {
+	t.Helper()
+	list := make([]submodular.CoverageItem, items)
+	for i := range list {
+		var covered []int
+		for v := 0; v < n; v++ {
+			if rng.Bernoulli(0.5) {
+				covered = append(covered, v)
+			}
+		}
+		if len(covered) == 0 {
+			covered = []int{rng.Intn(n)}
+		}
+		list[i] = submodular.CoverageItem{Value: rng.UniformRange(0.5, 2), CoveredBy: covered}
+	}
+	u, err := submodular.NewCoverageUtility(n, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestLPRelaxationValidation(t *testing.T) {
+	if _, _, err := LPRelaxation(nil, 2); err == nil {
+		t.Error("nil utility accepted")
+	}
+	u, err := submodular.NewCoverageUtility(2, []submodular.CoverageItem{
+		{Value: 1, CoveredBy: []int{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LPRelaxation(u, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	empty, err := submodular.NewCoverageUtility(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LPRelaxation(empty, 2); err == nil {
+		t.Error("empty ground set accepted")
+	}
+}
+
+// TestLPRelaxationUpperBoundsExact: the LP optimum dominates the exact
+// integer optimum on random coverage instances.
+func TestLPRelaxationUpperBoundsExact(t *testing.T) {
+	rng := stats.NewRNG(61)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(3)
+		u := randomCoverage(t, rng, n, 2+rng.Intn(6))
+		T := 2 + rng.Intn(2)
+		x, lpOpt, err := LPRelaxation(u, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fractional solution sanity: budget respected.
+		for v := 0; v < n; v++ {
+			var sum float64
+			for tt := 0; tt < T; tt++ {
+				if x[v][tt] < -1e-9 {
+					t.Fatalf("negative x[%d][%d] = %v", v, tt, x[v][tt])
+				}
+				sum += x[v][tt]
+			}
+			if sum > 1+1e-6 {
+				t.Fatalf("sensor %d fractional budget %v > 1", v, sum)
+			}
+		}
+		intOpt := bruteForceOptimum(u, n, T, ModePlacement)
+		if lpOpt < intOpt-1e-6 {
+			t.Errorf("trial %d: LP %v below integer optimum %v", trial, lpOpt, intOpt)
+		}
+	}
+}
+
+func TestLPRoundProducesFeasibleSchedule(t *testing.T) {
+	rng := stats.NewRNG(62)
+	u := randomCoverage(t, rng, 6, 8)
+	s, lpOpt, err := LPRound(u, 3, rng, RoundingOptions{Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period() != 3 || s.NumSensors() != 6 {
+		t.Fatalf("schedule shape wrong: %+v", s)
+	}
+	// With repair, every sensor is assigned.
+	for v, slot := range s.Assignment() {
+		if slot < 0 {
+			t.Errorf("sensor %d unassigned after repair", v)
+		}
+	}
+	val := s.PeriodUtility(func() submodular.RemovalOracle { return u.Oracle() })
+	if val > lpOpt+1e-6 {
+		t.Errorf("rounded value %v exceeds LP bound %v", val, lpOpt)
+	}
+	if val <= 0 {
+		t.Error("rounded schedule has zero utility")
+	}
+}
+
+func TestLPRoundNoRepairMayLeaveUnassigned(t *testing.T) {
+	rng := stats.NewRNG(63)
+	u := randomCoverage(t, rng, 5, 5)
+	s, _, err := LPRound(u, 2, rng, RoundingOptions{Trials: 4, NoRepair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not asserting unassigned sensors exist (probabilistic), only that
+	// the schedule remains structurally valid.
+	for _, slot := range s.Assignment() {
+		if slot < -1 || slot >= 2 {
+			t.Errorf("invalid slot %d", slot)
+		}
+	}
+}
+
+func TestLPRoundNilRNG(t *testing.T) {
+	u := randomCoverage(t, stats.NewRNG(64), 3, 3)
+	if _, _, err := LPRound(u, 2, nil, RoundingOptions{}); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+// TestLPRoundNearGreedy: on coverage instances the rounded LP should be
+// competitive with greedy (both near-optimal on small instances).
+func TestLPRoundNearGreedy(t *testing.T) {
+	rng := stats.NewRNG(65)
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + rng.Intn(3)
+		u := randomCoverage(t, rng, n, 6)
+		const T = 2
+		in := Instance{
+			N:       n,
+			Period:  period(t, 1),
+			Factory: func() submodular.RemovalOracle { return u.Oracle() },
+		}
+		g, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _, err := LPRound(u, T, rng, RoundingOptions{Trials: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv := g.PeriodUtility(in.Factory)
+		rv := r.PeriodUtility(in.Factory)
+		if rv < 0.7*gv {
+			t.Errorf("trial %d: LP rounding %v far below greedy %v", trial, rv, gv)
+		}
+	}
+}
+
+// TestLPRoundConditionalQuality: the derandomized rounding produces a
+// feasible schedule whose value is at least (1−1/e) of the LP optimum
+// and never below the best randomized trial's expectation floor.
+func TestLPRoundConditionalQuality(t *testing.T) {
+	rng := stats.NewRNG(66)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(5)
+		u := randomCoverage(t, rng, n, 4+rng.Intn(8))
+		T := 2 + rng.Intn(2)
+		s, lpOpt, err := LPRoundConditional(u, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val := s.PeriodUtility(func() submodular.RemovalOracle { return u.Oracle() })
+		if val > lpOpt+1e-6 {
+			t.Errorf("trial %d: value %v above LP bound %v", trial, val, lpOpt)
+		}
+		const oneMinusInvE = 0.6321205588285577
+		if val < oneMinusInvE*lpOpt-1e-6 {
+			t.Errorf("trial %d: value %v below (1-1/e)·LP %v", trial, val, oneMinusInvE*lpOpt)
+		}
+	}
+}
+
+// TestLPRoundConditionalVsRandomized: the deterministic rounding is
+// competitive with 16-trial randomized rounding.
+func TestLPRoundConditionalVsRandomized(t *testing.T) {
+	rng := stats.NewRNG(67)
+	u := randomCoverage(t, rng, 8, 10)
+	const T = 3
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	det, _, err := LPRoundConditional(u, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rand, _, err := LPRound(u, T, rng, RoundingOptions{Trials: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := det.PeriodUtility(factory)
+	rv := rand.PeriodUtility(factory)
+	if dv < 0.9*rv {
+		t.Errorf("deterministic %v far below randomized %v", dv, rv)
+	}
+}
+
+func TestLPRoundConditionalErrors(t *testing.T) {
+	if _, _, err := LPRoundConditional(nil, 2); err == nil {
+		t.Error("nil utility accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// scheduleJSON is the wire form of a Schedule, used to persist computed
+// schedules and to ship them through the dissemination protocol.
+type scheduleJSON struct {
+	Mode   string `json:"mode"`
+	Period int    `json:"period"`
+	Assign []int  `json:"assign"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	return json.Marshal(scheduleJSON{
+		Mode:   s.mode.String(),
+		Period: s.period,
+		Assign: s.assign,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the decoded
+// schedule exactly like NewSchedule.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var w scheduleJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("core: decoding schedule: %w", err)
+	}
+	var mode Mode
+	switch w.Mode {
+	case ModePlacement.String():
+		mode = ModePlacement
+	case ModeRemoval.String():
+		mode = ModeRemoval
+	default:
+		return fmt.Errorf("core: unknown schedule mode %q", w.Mode)
+	}
+	decoded, err := NewSchedule(mode, w.Period, w.Assign)
+	if err != nil {
+		return err
+	}
+	*s = *decoded
+	return nil
+}

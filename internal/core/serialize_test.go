@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModePlacement, ModeRemoval} {
+		orig, err := NewSchedule(mode, 4, []int{0, 2, 2, -1, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Schedule
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Mode() != orig.Mode() || got.Period() != orig.Period() {
+			t.Fatalf("round trip changed shape: %v/%d", got.Mode(), got.Period())
+		}
+		ga, oa := got.Assignment(), orig.Assignment()
+		for i := range oa {
+			if ga[i] != oa[i] {
+				t.Fatalf("assignment[%d] = %d, want %d", i, ga[i], oa[i])
+			}
+		}
+		// Derived slot cache rebuilt correctly.
+		for slot := 0; slot < 4; slot++ {
+			g, o := got.ActiveAt(slot), orig.ActiveAt(slot)
+			if len(g) != len(o) {
+				t.Fatalf("slot %d active sets differ", slot)
+			}
+			for i := range o {
+				if g[i] != o[i] {
+					t.Fatalf("slot %d active sets differ", slot)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"mode":"nope","period":2,"assign":[0]}`,
+		`{"mode":"placement","period":0,"assign":[0]}`,
+		`{"mode":"placement","period":2,"assign":[5]}`,
+	}
+	for i, raw := range cases {
+		var s Schedule
+		if err := json.Unmarshal([]byte(raw), &s); err == nil {
+			t.Errorf("case %d: invalid JSON accepted", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cool/internal/stats"
+)
+
+// VoltageSample is one point of a measured (or simulated) battery
+// voltage trace, as produced by the testbed's TelosB motes.
+type VoltageSample struct {
+	// At is the sample time relative to the trace start.
+	At time.Duration
+	// Voltage is the battery terminal voltage in volts.
+	Voltage float64
+}
+
+// Pattern is a charging pattern estimated from a trace window: the
+// paper's short-horizon assumption is that (Tr, Td) — and hence ρ — are
+// stable within such a window (≈2 h) and can be re-estimated when the
+// weather changes.
+type Pattern struct {
+	// Recharge is the estimated time to charge the battery from empty
+	// to full (Tr).
+	Recharge time.Duration
+	// Discharge is the estimated time to drain the battery from full
+	// to empty under active load (Td).
+	Discharge time.Duration
+}
+
+// Rho returns ρ = Tr/Td for the pattern.
+func (p Pattern) Rho() float64 {
+	return float64(p.Recharge) / float64(p.Discharge)
+}
+
+// Period normalizes the pattern to the nearest integral charging
+// period, tolerating measurement noise: ρ is rounded to the nearest
+// integer (or inverse integer) before validation.
+func (p Pattern) Period() (Period, error) {
+	rho := p.Rho()
+	if rho >= 1 {
+		return PeriodFromRho(float64(int(rho + 0.5)))
+	}
+	inv := int(1/rho + 0.5)
+	if inv < 1 {
+		inv = 1
+	}
+	return PeriodFromRho(1 / float64(inv))
+}
+
+// EstimatorConfig controls pattern estimation from voltage traces.
+type EstimatorConfig struct {
+	// FullVoltage is the terminal voltage of a fully charged battery.
+	FullVoltage float64
+	// EmptyVoltage is the cut-off voltage of a depleted battery.
+	EmptyVoltage float64
+	// MinSlopeSamples is the minimum number of consecutive samples a
+	// rising (or falling) segment needs before it is used for a fit.
+	MinSlopeSamples int
+}
+
+// DefaultEstimatorConfig matches the TelosB-with-solar-cell hardware of
+// the paper's testbed: a full LiPo-backed supply around 3.0 V and a
+// usable cut-off near 2.1 V.
+func DefaultEstimatorConfig() EstimatorConfig {
+	return EstimatorConfig{
+		FullVoltage:     3.0,
+		EmptyVoltage:    2.1,
+		MinSlopeSamples: 4,
+	}
+}
+
+// ErrInsufficientTrace is returned when a trace window has no usable
+// charging or discharging segment.
+var ErrInsufficientTrace = errors.New("energy: trace window has no usable segment")
+
+// EstimatePattern fits a charging pattern to one window of a voltage
+// trace. It locates the longest strictly rising and strictly falling
+// voltage runs, fits a line to each, and extrapolates the time to sweep
+// the full [EmptyVoltage, FullVoltage] range. This mirrors how the
+// paper derives Tr ≈ 45 min and Td ≈ 15 min from the Figure-7 traces.
+func EstimatePattern(samples []VoltageSample, cfg EstimatorConfig) (Pattern, error) {
+	if cfg.FullVoltage <= cfg.EmptyVoltage {
+		return Pattern{}, fmt.Errorf(
+			"energy: bad voltage range [%v, %v]", cfg.EmptyVoltage, cfg.FullVoltage)
+	}
+	if cfg.MinSlopeSamples < 2 {
+		cfg.MinSlopeSamples = 2
+	}
+	rise := longestRun(samples, true)
+	fall := longestRun(samples, false)
+	if len(rise) < cfg.MinSlopeSamples || len(fall) < cfg.MinSlopeSamples {
+		return Pattern{}, fmt.Errorf(
+			"%w: rise=%d fall=%d samples", ErrInsufficientTrace, len(rise), len(fall))
+	}
+	span := cfg.FullVoltage - cfg.EmptyVoltage
+	up, err := segmentSlope(rise)
+	if err != nil {
+		return Pattern{}, fmt.Errorf("energy: charging fit: %w", err)
+	}
+	down, err := segmentSlope(fall)
+	if err != nil {
+		return Pattern{}, fmt.Errorf("energy: discharging fit: %w", err)
+	}
+	if up <= 0 || down >= 0 {
+		return Pattern{}, fmt.Errorf(
+			"%w: degenerate slopes up=%v down=%v", ErrInsufficientTrace, up, down)
+	}
+	return Pattern{
+		Recharge:  time.Duration(span / up * float64(time.Second)),
+		Discharge: time.Duration(span / -down * float64(time.Second)),
+	}, nil
+}
+
+// longestRun returns the longest maximal run of samples whose voltage is
+// strictly monotone in the requested direction.
+func longestRun(samples []VoltageSample, rising bool) []VoltageSample {
+	var best, cur []VoltageSample
+	for i := 0; i < len(samples); i++ {
+		if len(cur) == 0 {
+			cur = samples[i : i+1]
+			continue
+		}
+		prev := cur[len(cur)-1].Voltage
+		ok := samples[i].Voltage > prev
+		if !rising {
+			ok = samples[i].Voltage < prev
+		}
+		if ok {
+			cur = samples[i-len(cur) : i+1]
+		} else {
+			if len(cur) > len(best) {
+				best = cur
+			}
+			cur = samples[i : i+1]
+		}
+	}
+	if len(cur) > len(best) {
+		best = cur
+	}
+	return best
+}
+
+// segmentSlope fits voltage-vs-time (in seconds) by least squares and
+// returns the slope in volts per second.
+func segmentSlope(run []VoltageSample) (float64, error) {
+	xs := make([]float64, len(run))
+	ys := make([]float64, len(run))
+	for i, s := range run {
+		xs[i] = s.At.Seconds()
+		ys[i] = s.Voltage
+	}
+	_, slope, err := stats.LinearFit(xs, ys)
+	return slope, err
+}
+
+// EstimateWindows splits a day-long trace into fixed-length windows
+// (e.g. 2 h, the paper's estimation horizon) and estimates a pattern per
+// window, skipping windows with no usable segments (night). It returns
+// the per-window patterns in order; windows that failed estimation are
+// omitted.
+func EstimateWindows(
+	samples []VoltageSample, window time.Duration, cfg EstimatorConfig,
+) ([]Pattern, error) {
+	if window <= 0 {
+		return nil, errors.New("energy: non-positive estimation window")
+	}
+	if len(samples) == 0 {
+		return nil, ErrInsufficientTrace
+	}
+	var out []Pattern
+	start := 0
+	for start < len(samples) {
+		end := start
+		limit := samples[start].At + window
+		for end < len(samples) && samples[end].At < limit {
+			end++
+		}
+		if p, err := EstimatePattern(samples[start:end], cfg); err == nil {
+			out = append(out, p)
+		}
+		start = end
+	}
+	if len(out) == 0 {
+		return nil, ErrInsufficientTrace
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// sawtoothTrace builds a synthetic voltage trace that discharges from
+// full to empty in td and recharges in tr, sampled every step.
+func sawtoothTrace(tr, td, total, step time.Duration, cfg EstimatorConfig) []VoltageSample {
+	span := cfg.FullVoltage - cfg.EmptyVoltage
+	upRate := span / tr.Seconds()
+	downRate := span / td.Seconds()
+	var out []VoltageSample
+	v := cfg.FullVoltage
+	discharging := true
+	for at := time.Duration(0); at <= total; at += step {
+		out = append(out, VoltageSample{At: at, Voltage: v})
+		if discharging {
+			v -= downRate * step.Seconds()
+			if v <= cfg.EmptyVoltage {
+				v = cfg.EmptyVoltage
+				discharging = false
+			}
+		} else {
+			v += upRate * step.Seconds()
+			if v >= cfg.FullVoltage {
+				v = cfg.FullVoltage
+				discharging = true
+			}
+		}
+	}
+	return out
+}
+
+func TestEstimatePatternRecoversSawtooth(t *testing.T) {
+	cfg := DefaultEstimatorConfig()
+	tr, td := 45*time.Minute, 15*time.Minute
+	trace := sawtoothTrace(tr, td, 2*time.Hour, time.Minute, cfg)
+	p, err := EstimatePattern(trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(p.Recharge.Seconds()-tr.Seconds()) / tr.Seconds(); rel > 0.05 {
+		t.Errorf("recharge = %v, want ~%v", p.Recharge, tr)
+	}
+	if rel := math.Abs(p.Discharge.Seconds()-td.Seconds()) / td.Seconds(); rel > 0.05 {
+		t.Errorf("discharge = %v, want ~%v", p.Discharge, td)
+	}
+	if math.Abs(p.Rho()-3) > 0.2 {
+		t.Errorf("rho = %v, want ~3", p.Rho())
+	}
+	period, err := p.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period.Slots() != 4 {
+		t.Errorf("period slots = %d, want 4", period.Slots())
+	}
+}
+
+func TestEstimatePatternErrors(t *testing.T) {
+	cfg := DefaultEstimatorConfig()
+	if _, err := EstimatePattern(nil, cfg); !errors.Is(err, ErrInsufficientTrace) {
+		t.Errorf("empty trace error = %v", err)
+	}
+	flat := make([]VoltageSample, 20)
+	for i := range flat {
+		flat[i] = VoltageSample{At: time.Duration(i) * time.Minute, Voltage: 2.5}
+	}
+	if _, err := EstimatePattern(flat, cfg); !errors.Is(err, ErrInsufficientTrace) {
+		t.Errorf("flat trace error = %v", err)
+	}
+	bad := cfg
+	bad.FullVoltage = bad.EmptyVoltage
+	if _, err := EstimatePattern(flat, bad); err == nil {
+		t.Error("degenerate voltage range accepted")
+	}
+}
+
+func TestPatternPeriodRoundsNoise(t *testing.T) {
+	p := Pattern{Recharge: 44 * time.Minute, Discharge: 15 * time.Minute}
+	period, err := p.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period.ActiveSlots != 1 || period.PassiveSlots != 3 {
+		t.Errorf("noisy pattern period = %+v, want {1 3}", period)
+	}
+	inv := Pattern{Recharge: 15 * time.Minute, Discharge: 46 * time.Minute}
+	period, err = inv.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period.ActiveSlots != 3 || period.PassiveSlots != 1 {
+		t.Errorf("inverse pattern period = %+v, want {3 1}", period)
+	}
+}
+
+func TestEstimateWindows(t *testing.T) {
+	cfg := DefaultEstimatorConfig()
+	trace := sawtoothTrace(45*time.Minute, 15*time.Minute, 6*time.Hour, time.Minute, cfg)
+	patterns, err := EstimateWindows(trace, 2*time.Hour, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 3 {
+		t.Fatalf("windows = %d, want 3", len(patterns))
+	}
+	for i, p := range patterns {
+		if math.Abs(p.Rho()-3) > 0.5 {
+			t.Errorf("window %d rho = %v, want ~3", i, p.Rho())
+		}
+	}
+}
+
+func TestEstimateWindowsErrors(t *testing.T) {
+	cfg := DefaultEstimatorConfig()
+	if _, err := EstimateWindows(nil, time.Hour, cfg); err == nil {
+		t.Error("empty trace accepted")
+	}
+	trace := sawtoothTrace(45*time.Minute, 15*time.Minute, time.Hour, time.Minute, cfg)
+	if _, err := EstimateWindows(trace, 0, cfg); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestLongestRun(t *testing.T) {
+	mk := func(vs ...float64) []VoltageSample {
+		out := make([]VoltageSample, len(vs))
+		for i, v := range vs {
+			out[i] = VoltageSample{At: time.Duration(i) * time.Second, Voltage: v}
+		}
+		return out
+	}
+	rise := longestRun(mk(1, 2, 3, 2, 3, 4, 5, 1), true)
+	if len(rise) != 4 || rise[0].Voltage != 2 || rise[3].Voltage != 5 {
+		t.Errorf("rising run = %+v", rise)
+	}
+	fall := longestRun(mk(5, 4, 3, 4, 2), false)
+	if len(fall) != 3 || fall[0].Voltage != 5 {
+		t.Errorf("falling run = %+v", fall)
+	}
+	if got := longestRun(nil, true); len(got) != 0 {
+		t.Errorf("empty input run = %+v", got)
+	}
+}

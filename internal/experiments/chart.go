@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderChart draws the figure as an ASCII line chart (one mark per
+// series), giving coolbench output a visual summary alongside the
+// tables. Series that do not share the X grid are skipped with a note.
+func (f *Figure) RenderChart(w io.Writer, width, height int) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	if width < 16 || height < 4 {
+		return fmt.Errorf("experiments: chart area %dx%d too small", width, height)
+	}
+	if !f.sharedGrid() {
+		fmt.Fprintf(w, "[chart skipped: series use different x grids]\n")
+		return nil
+	}
+	marks := "*o+x#@%&"
+	xs := f.Series[0].X
+	if len(xs) == 0 {
+		return fmt.Errorf("experiments: empty series")
+	}
+
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int((x - xMin) / (xMax - xMin) * float64(width-1))
+		row := height - 1 - int((y-yMin)/(yMax-yMin)*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		grid[row][col] = mark
+	}
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], mark)
+		}
+	}
+
+	fmt.Fprintf(w, "%s (y: %.4g..%.4g, x: %.4g..%.4g)\n", f.Title, yMin, yMax, xMin, xMax)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Label))
+	}
+	fmt.Fprintf(w, "   %s\n", strings.Join(legend, "  "))
+	return nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationHetero(t *testing.T) {
+	fig, err := AblationHetero(AblationConfig{Sensors: 30, Targets: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero := fig.FindSeries("hetero-greedy")
+	homo := fig.FindSeries("homogeneous-worst-case")
+	if hetero == nil || homo == nil {
+		t.Fatal("missing series")
+	}
+	if len(hetero.X) != 5 {
+		t.Fatalf("points = %d", len(hetero.X))
+	}
+	for i := range hetero.Y {
+		// Heterogeneity awareness never loses to the worst-case plan.
+		if hetero.Y[i] < homo.Y[i]-1e-9 {
+			t.Errorf("shaded=%v%%: hetero %v below homo %v", hetero.X[i], hetero.Y[i], homo.Y[i])
+		}
+	}
+	// With shading present, the gain is strict.
+	if hetero.Y[2] <= homo.Y[2] {
+		t.Errorf("no strict gain at 20%% shading: %v vs %v", hetero.Y[2], homo.Y[2])
+	}
+}
+
+func TestAblationAdaptive(t *testing.T) {
+	fig, err := AblationAdaptive(AblationConfig{Sensors: 30, Targets: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rigid := fig.FindSeries("rigid-schedule")
+	adaptive := fig.FindSeries("online-adaptive")
+	if rigid == nil || adaptive == nil {
+		t.Fatal("missing series")
+	}
+	// At high jitter the adaptive policy must dominate.
+	last := len(rigid.Y) - 1
+	if adaptive.Y[last] <= rigid.Y[last] {
+		t.Errorf("adaptive %v not above rigid %v at max jitter",
+			adaptive.Y[last], rigid.Y[last])
+	}
+	for i := range adaptive.Y {
+		if adaptive.Y[i] <= 0 || adaptive.Y[i] > 1 {
+			t.Errorf("point %d out of range: %v", i, adaptive.Y[i])
+		}
+	}
+}
+
+func TestClosedLoopExperiment(t *testing.T) {
+	fig, err := ClosedLoopExperiment(AblationConfig{Sensors: 24, Targets: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := fig.FindSeries("closed-loop")
+	static := fig.FindSeries("static-sunny-plan")
+	if loop == nil || static == nil {
+		t.Fatal("missing series")
+	}
+	if len(loop.Y) != 30 || len(static.Y) != 30 {
+		t.Fatalf("day counts wrong: %d / %d", len(loop.Y), len(static.Y))
+	}
+	var loopMean, staticMean float64
+	for i := range loop.Y {
+		loopMean += loop.Y[i]
+		staticMean += static.Y[i]
+	}
+	loopMean /= 30
+	staticMean /= 30
+	// Re-planning must not lose on average, and with a month of mixed
+	// weather it should win outright.
+	if loopMean < staticMean {
+		t.Errorf("closed loop %.4f below static %.4f", loopMean, staticMean)
+	}
+}

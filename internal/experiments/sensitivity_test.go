@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSensitivityPMonotone(t *testing.T) {
+	fig, err := SensitivityP(AblationConfig{Sensors: 40, Targets: 6, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.X) != 6 {
+		t.Fatalf("points = %d", len(s.X))
+	}
+	for i := 1; i < len(s.Y); i++ {
+		// Better sensors never hurt.
+		if s.Y[i] < s.Y[i-1]-1e-9 {
+			t.Errorf("utility dropped from p=%v to p=%v (%v -> %v)",
+				s.X[i-1], s.X[i], s.Y[i-1], s.Y[i])
+		}
+	}
+}
+
+func TestSensitivityRangeShape(t *testing.T) {
+	fig, err := SensitivityRange(AblationConfig{Sensors: 40, Targets: 8, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := fig.FindSeries("greedy-avg-utility")
+	cov := fig.FindSeries("coverable-target-fraction")
+	if util == nil || cov == nil {
+		t.Fatal("missing series")
+	}
+	// Larger radius never reduces the coverable fraction on the same
+	// deployment.
+	for i := 1; i < len(cov.Y); i++ {
+		if cov.Y[i] < cov.Y[i-1]-1e-9 {
+			t.Errorf("coverable fraction dropped at r=%v", cov.X[i])
+		}
+	}
+	// At the largest radius essentially everything is coverable and the
+	// utility is meaningfully higher than at the smallest.
+	last := len(util.Y) - 1
+	if cov.Y[last] < 0.9 {
+		t.Errorf("coverable fraction at max range = %v", cov.Y[last])
+	}
+	if util.Y[last] <= util.Y[0] {
+		t.Errorf("utility did not grow with range: %v -> %v", util.Y[0], util.Y[last])
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	fig := &Figure{
+		ID: "t", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Label: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.RenderChart(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderChartErrors(t *testing.T) {
+	fig := &Figure{Series: []Series{{Label: "a", X: []float64{1}, Y: []float64{1}}}}
+	var buf bytes.Buffer
+	if err := fig.RenderChart(&buf, 5, 2); err == nil {
+		t.Error("tiny chart area accepted")
+	}
+	if err := (&Figure{}).RenderChart(&buf, 40, 10); err == nil {
+		t.Error("empty figure accepted")
+	}
+	// Mismatched grids degrade to a note, not an error.
+	mixed := &Figure{Series: []Series{
+		{Label: "a", X: []float64{1}, Y: []float64{1}},
+		{Label: "b", X: []float64{1, 2}, Y: []float64{1, 2}},
+	}}
+	buf.Reset()
+	if err := mixed.RenderChart(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "chart skipped") {
+		t.Error("mixed-grid note missing")
+	}
+}
+
+func TestRenderChartFlatSeries(t *testing.T) {
+	fig := &Figure{
+		Title: "flat",
+		Series: []Series{
+			{Label: "const", X: []float64{5, 5}, Y: []float64{2, 2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.RenderChart(&buf, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+
+	"cool/internal/stats"
+)
+
+func TestSubdivideAdaptiveValidation(t *testing.T) {
+	omega := NewRect(Point{}, Point{X: 10, Y: 10})
+	if _, err := SubdivideAdaptive(omega, nil, 0, 4); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	if _, err := SubdivideAdaptive(omega, nil, 10, 1); err == nil {
+		t.Error("refinement below 2 accepted")
+	}
+	if _, err := SubdivideAdaptive(NewRect(Point{}, Point{}), nil, 10, 4); err == nil {
+		t.Error("degenerate omega accepted")
+	}
+	if _, err := SubdivideAdaptive(omega, []Region{nil}, 10, 4); err == nil {
+		t.Error("nil region accepted")
+	}
+}
+
+// TestAdaptiveBeatsPlainGridAccuracy: with the same base resolution the
+// refined subdivision approximates a disk's exact area substantially
+// better than the plain grid.
+func TestAdaptiveBeatsPlainGridAccuracy(t *testing.T) {
+	omega := NewRect(Point{}, Point{X: 10, Y: 10})
+	d := Disk{Center: Point{X: 5, Y: 5}, Radius: 3.1}
+	const base = 40 // deliberately coarse so boundary error dominates
+
+	plain, err := Subdivide(omega, []Region{d}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := SubdivideAdaptive(omega, []Region{d}, base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := d.Area()
+	plainErr := math.Abs(plain.CoveredArea() - exact)
+	refinedErr := math.Abs(refined.CoveredArea() - exact)
+	if refinedErr > plainErr/2 {
+		t.Errorf("refined error %v not well below plain error %v", refinedErr, plainErr)
+	}
+	if refinedErr/exact > 0.005 {
+		t.Errorf("refined relative error %v > 0.5%%", refinedErr/exact)
+	}
+}
+
+func TestAdaptiveAreasTile(t *testing.T) {
+	rng := stats.NewRNG(41)
+	omega := NewRect(Point{}, Point{X: 20, Y: 20})
+	for trial := 0; trial < 5; trial++ {
+		n := 1 + rng.Intn(6)
+		regions := make([]Region, n)
+		for i := range regions {
+			regions[i] = Disk{
+				Center: Point{X: rng.UniformRange(0, 20), Y: rng.UniformRange(0, 20)},
+				Radius: rng.UniformRange(1, 6),
+			}
+		}
+		sub, err := SubdivideAdaptive(omega, regions, 50, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, c := range sub.Cells {
+			if c.Area <= 0 {
+				t.Fatal("non-positive cell area")
+			}
+			if !omega.Contains(c.Centroid) && c.Centroid != omega.Max {
+				t.Errorf("centroid %v outside omega", c.Centroid)
+			}
+			total += c.Area
+		}
+		if math.Abs(total-omega.Area()) > 1e-6*omega.Area() {
+			t.Fatalf("areas do not tile omega: %v vs %v", total, omega.Area())
+		}
+	}
+}
+
+func TestAdaptiveMatchesLensArea(t *testing.T) {
+	omega := NewRect(Point{}, Point{X: 10, Y: 10})
+	a := Disk{Center: Point{X: 4, Y: 5}, Radius: 2}
+	b := Disk{Center: Point{X: 6, Y: 5}, Radius: 2}
+	sub, err := SubdivideAdaptive(omega, []Region{a, b}, 80, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lens float64
+	for _, c := range sub.Cells {
+		if len(c.Covers) == 2 {
+			lens = c.Area
+		}
+	}
+	want := LensArea(a, b)
+	if math.Abs(lens-want)/want > 0.005 {
+		t.Errorf("refined lens area %v vs exact %v (err %v)", lens, want, math.Abs(lens-want)/want)
+	}
+}

@@ -1,0 +1,178 @@
+// Package geometry provides the 2-D primitives used by the Cool library:
+// points, rectangles, sensing regions (disks and sectors), and the
+// subdivision of a monitored region Ω into subregions induced by sensor
+// coverage areas (Section II-C of the paper).
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the 2-D deployment plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by the vector (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Sub returns the vector from q to p as a Point.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It is
+// cheaper than Dist and sufficient for containment tests.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner and
+// Max the upper-right corner.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points in any
+// order.
+func NewRect(a, b Point) Rect {
+	r := Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+	return r
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies in r (closed on the min edges, open on
+// the max edges, so that grid cells tile without overlap).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// Intersects reports whether r and s overlap with positive area.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+// Clamp returns the point in r nearest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// Region is an arbitrary sensing footprint R(v) of a sensor. Coverage
+// patterns of different nodes may differ (disks, sectors, ...), so the
+// library works against this interface everywhere.
+type Region interface {
+	// Contains reports whether the point lies inside the region.
+	Contains(Point) bool
+	// Bounds returns an axis-aligned bounding rectangle of the region.
+	Bounds() Rect
+}
+
+// Disk is the classical omnidirectional sensing footprint: all points
+// within Radius of Center.
+type Disk struct {
+	Center Point
+	Radius float64
+}
+
+var _ Region = Disk{}
+
+// Contains implements Region.
+func (d Disk) Contains(p Point) bool {
+	return p.DistSq(d.Center) <= d.Radius*d.Radius
+}
+
+// Bounds implements Region.
+func (d Disk) Bounds() Rect {
+	return Rect{
+		Min: Point{d.Center.X - d.Radius, d.Center.Y - d.Radius},
+		Max: Point{d.Center.X + d.Radius, d.Center.Y + d.Radius},
+	}
+}
+
+// Area returns the exact area of the disk.
+func (d Disk) Area() float64 { return math.Pi * d.Radius * d.Radius }
+
+// Sector is a directional sensing footprint: the circular sector of the
+// disk (Center, Radius) spanning HalfAngle radians on each side of the
+// direction Heading (in radians).
+type Sector struct {
+	Center    Point
+	Radius    float64
+	Heading   float64 // direction of the sector axis, radians
+	HalfAngle float64 // half the opening angle, radians, in (0, pi]
+}
+
+var _ Region = Sector{}
+
+// Contains implements Region.
+func (s Sector) Contains(p Point) bool {
+	if p.DistSq(s.Center) > s.Radius*s.Radius {
+		return false
+	}
+	if p == s.Center {
+		return true
+	}
+	ang := math.Atan2(p.Y-s.Center.Y, p.X-s.Center.X)
+	diff := angleDiff(ang, s.Heading)
+	return diff <= s.HalfAngle
+}
+
+// Bounds implements Region. It returns the bounding box of the full
+// disk, which is a valid (if loose) bound for any sector.
+func (s Sector) Bounds() Rect {
+	return Disk{Center: s.Center, Radius: s.Radius}.Bounds()
+}
+
+// angleDiff returns the absolute difference between two angles, wrapped
+// into [0, pi].
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d < 0 {
+		d += 2 * math.Pi
+	}
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+// LensArea returns the exact intersection area of two disks. It is used
+// as ground truth when validating the grid subdivision.
+func LensArea(a, b Disk) float64 {
+	d := a.Center.Dist(b.Center)
+	r, s := a.Radius, b.Radius
+	if d >= r+s {
+		return 0
+	}
+	if d <= math.Abs(r-s) {
+		m := math.Min(r, s)
+		return math.Pi * m * m
+	}
+	r2, s2, d2 := r*r, s*s, d*d
+	alpha := math.Acos((d2 + r2 - s2) / (2 * d * r))
+	beta := math.Acos((d2 + s2 - r2) / (2 * d * s))
+	return r2*(alpha-math.Sin(2*alpha)/2) + s2*(beta-math.Sin(2*beta)/2)
+}

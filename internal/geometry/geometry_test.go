@@ -1,0 +1,335 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cool/internal/stats"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.p.DistSq(c.q); math.Abs(got-c.want*c.want) > 1e-9 {
+			t.Errorf("DistSq(%v,%v) = %v, want %v", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestPointAddSub(t *testing.T) {
+	p := Point{1, 2}.Add(3, -1)
+	if p != (Point{4, 1}) {
+		t.Errorf("Add = %v", p)
+	}
+	d := Point{4, 1}.Sub(Point{1, 2})
+	if d != (Point{3, -1}) {
+		t.Errorf("Sub = %v", d)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{5, -1}, Point{0, 3})
+	if r.Min != (Point{0, -1}) || r.Max != (Point{5, 3}) {
+		t.Errorf("NewRect = %+v", r)
+	}
+	if r.Width() != 5 || r.Height() != 4 || r.Area() != 20 {
+		t.Errorf("dims wrong: w=%v h=%v a=%v", r.Width(), r.Height(), r.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	if !r.Contains(Point{0, 0}) {
+		t.Error("min corner should be contained (closed)")
+	}
+	if r.Contains(Point{10, 10}) {
+		t.Error("max corner should not be contained (open)")
+	}
+	if !r.Contains(Point{5, 5}) {
+		t.Error("interior point should be contained")
+	}
+	if r.Contains(Point{-1, 5}) || r.Contains(Point{5, 11}) {
+		t.Error("exterior point should not be contained")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	if !a.Intersects(NewRect(Point{1, 1}, Point{3, 3})) {
+		t.Error("overlapping rects should intersect")
+	}
+	if a.Intersects(NewRect(Point{2, 0}, Point{4, 2})) {
+		t.Error("edge-touching rects should not intersect (open)")
+	}
+	if a.Intersects(NewRect(Point{5, 5}, Point{6, 6})) {
+		t.Error("disjoint rects should not intersect")
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	if got := r.Clamp(Point{-5, 5}); got != (Point{0, 5}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Point{11, 12}); got != (Point{10, 10}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Point{3, 4}); got != (Point{3, 4}) {
+		t.Errorf("Clamp of interior point moved it: %v", got)
+	}
+}
+
+func TestDiskContains(t *testing.T) {
+	d := Disk{Center: Point{0, 0}, Radius: 2}
+	if !d.Contains(Point{0, 0}) || !d.Contains(Point{2, 0}) {
+		t.Error("center and boundary should be contained")
+	}
+	if d.Contains(Point{2.001, 0}) {
+		t.Error("exterior point contained")
+	}
+}
+
+func TestDiskBoundsAndArea(t *testing.T) {
+	d := Disk{Center: Point{1, 2}, Radius: 3}
+	b := d.Bounds()
+	if b.Min != (Point{-2, -1}) || b.Max != (Point{4, 5}) {
+		t.Errorf("Bounds = %+v", b)
+	}
+	if math.Abs(d.Area()-math.Pi*9) > 1e-12 {
+		t.Errorf("Area = %v", d.Area())
+	}
+}
+
+func TestSectorContains(t *testing.T) {
+	// Sector pointing along +x with 45-degree half angle.
+	s := Sector{Center: Point{0, 0}, Radius: 10, Heading: 0, HalfAngle: math.Pi / 4}
+	if !s.Contains(Point{5, 0}) {
+		t.Error("on-axis point should be contained")
+	}
+	if !s.Contains(Point{5, 4.9}) {
+		t.Error("point just inside the edge should be contained")
+	}
+	if s.Contains(Point{5, 5.1}) {
+		t.Error("point just outside the angular edge contained")
+	}
+	if s.Contains(Point{-5, 0}) {
+		t.Error("point behind the sector contained")
+	}
+	if s.Contains(Point{11, 0}) {
+		t.Error("point beyond radius contained")
+	}
+	if !s.Contains(Point{0, 0}) {
+		t.Error("apex should be contained")
+	}
+}
+
+func TestSectorWrapAround(t *testing.T) {
+	// Heading near +pi must accept points across the branch cut.
+	s := Sector{Center: Point{0, 0}, Radius: 10, Heading: math.Pi, HalfAngle: math.Pi / 6}
+	if !s.Contains(Point{-5, 0.1}) || !s.Contains(Point{-5, -0.1}) {
+		t.Error("sector across the atan2 branch cut rejected interior points")
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{math.Pi, -math.Pi, 0},
+		{0.1, -0.1, 0.2},
+		{3, -3, 2*math.Pi - 6},
+	}
+	for _, c := range cases {
+		if got := angleDiff(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("angleDiff(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLensAreaDisjointAndNested(t *testing.T) {
+	a := Disk{Point{0, 0}, 1}
+	b := Disk{Point{5, 0}, 1}
+	if got := LensArea(a, b); got != 0 {
+		t.Errorf("disjoint lens area = %v", got)
+	}
+	inner := Disk{Point{0.1, 0}, 0.5}
+	if got := LensArea(a, inner); math.Abs(got-math.Pi*0.25) > 1e-12 {
+		t.Errorf("nested lens area = %v, want %v", got, math.Pi*0.25)
+	}
+}
+
+func TestLensAreaHalfOverlap(t *testing.T) {
+	// Two unit disks with centers distance 1 apart: known closed form
+	// 2*acos(1/2) - sin(2*acos(1/2)) per disk contribution.
+	a := Disk{Point{0, 0}, 1}
+	b := Disk{Point{1, 0}, 1}
+	want := 2*math.Pi/3 - math.Sqrt(3)/2
+	if got := LensArea(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("lens area = %v, want %v", got, want)
+	}
+}
+
+func TestSubdivideErrors(t *testing.T) {
+	omega := NewRect(Point{0, 0}, Point{1, 1})
+	if _, err := Subdivide(omega, nil, 0); err == nil {
+		t.Error("zero resolution should error")
+	}
+	if _, err := Subdivide(NewRect(Point{0, 0}, Point{0, 1}), nil, 10); err == nil {
+		t.Error("degenerate omega should error")
+	}
+	if _, err := Subdivide(omega, []Region{nil}, 10); err == nil {
+		t.Error("nil region should error")
+	}
+}
+
+func TestSubdivideSingleDisk(t *testing.T) {
+	omega := NewRect(Point{0, 0}, Point{10, 10})
+	d := Disk{Center: Point{5, 5}, Radius: 2}
+	sub, err := Subdivide(omega, []Region{d}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2 (inside + background)", len(sub.Cells))
+	}
+	if got, want := sub.CoveredArea(), d.Area(); math.Abs(got-want)/want > 0.01 {
+		t.Errorf("covered area = %v, want ~%v", got, want)
+	}
+	var total float64
+	for _, c := range sub.Cells {
+		total += c.Area
+	}
+	if math.Abs(total-omega.Area()) > 1e-6 {
+		t.Errorf("areas do not tile omega: %v vs %v", total, omega.Area())
+	}
+}
+
+func TestSubdivideTwoDisksMatchesLens(t *testing.T) {
+	omega := NewRect(Point{0, 0}, Point{10, 10})
+	a := Disk{Center: Point{4, 5}, Radius: 2}
+	b := Disk{Center: Point{6, 5}, Radius: 2}
+	sub, err := Subdivide(omega, []Region{a, b}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lens float64
+	for _, c := range sub.Cells {
+		if len(c.Covers) == 2 {
+			lens = c.Area
+		}
+	}
+	want := LensArea(a, b)
+	if math.Abs(lens-want)/want > 0.02 {
+		t.Errorf("grid lens area = %v, exact = %v", lens, want)
+	}
+	if sub.MaxCoverDegree() != 2 {
+		t.Errorf("MaxCoverDegree = %d, want 2", sub.MaxCoverDegree())
+	}
+}
+
+func TestSubdivideSignaturesSortedAndCentroids(t *testing.T) {
+	omega := NewRect(Point{0, 0}, Point{10, 10})
+	regions := []Region{
+		Disk{Center: Point{3, 3}, Radius: 2.5},
+		Disk{Center: Point{6, 6}, Radius: 2.5},
+	}
+	sub, err := Subdivide(omega, regions, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sub.Cells); i++ {
+		if compareCovers(sub.Cells[i-1].Covers, sub.Cells[i].Covers) >= 0 {
+			t.Error("cells not sorted by signature")
+		}
+	}
+	for _, c := range sub.Cells {
+		if !omega.Contains(c.Centroid) && c.Centroid != omega.Max {
+			t.Errorf("centroid %v outside omega", c.Centroid)
+		}
+		if len(c.Covers) == 1 {
+			d := regions[c.Covers[0]].(Disk)
+			if c.Centroid.Dist(d.Center) > d.Radius+sub.Resolution {
+				t.Errorf("centroid %v far from its disk %v", c.Centroid, d.Center)
+			}
+		}
+	}
+}
+
+func TestSubdivideOutOfBoundsRegionIgnored(t *testing.T) {
+	omega := NewRect(Point{0, 0}, Point{10, 10})
+	far := Disk{Center: Point{100, 100}, Radius: 2}
+	sub, err := Subdivide(omega, []Region{far}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Cells) != 1 || len(sub.Cells[0].Covers) != 0 {
+		t.Errorf("expected only background cell, got %+v", sub.Cells)
+	}
+}
+
+func TestSubregionKey(t *testing.T) {
+	if (Subregion{}).Key() != "" {
+		t.Error("empty signature key should be empty string")
+	}
+	s := Subregion{Covers: []int{2, 5, 9}}
+	if s.Key() != "2,5,9" {
+		t.Errorf("Key = %q", s.Key())
+	}
+}
+
+func TestSubdividePropertyAreasTile(t *testing.T) {
+	rng := stats.NewRNG(21)
+	for trial := 0; trial < 10; trial++ {
+		omega := NewRect(Point{0, 0}, Point{20, 20})
+		n := 1 + rng.Intn(8)
+		regions := make([]Region, n)
+		for i := range regions {
+			regions[i] = Disk{
+				Center: Point{rng.UniformRange(0, 20), rng.UniformRange(0, 20)},
+				Radius: rng.UniformRange(1, 5),
+			}
+		}
+		sub, err := Subdivide(omega, regions, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, c := range sub.Cells {
+			if c.Area <= 0 {
+				t.Fatal("non-positive subregion area")
+			}
+			total += c.Area
+		}
+		if math.Abs(total-omega.Area()) > 1e-6*omega.Area() {
+			t.Fatalf("subregions do not tile omega: %v vs %v", total, omega.Area())
+		}
+	}
+}
+
+func TestCompareCoversProperty(t *testing.T) {
+	f := func(a, b []int8) bool {
+		ai := make([]int, len(a))
+		bi := make([]int, len(b))
+		for i, v := range a {
+			ai[i] = int(v)
+		}
+		for i, v := range b {
+			bi[i] = int(v)
+		}
+		// Antisymmetry.
+		return compareCovers(ai, bi) == -compareCovers(bi, ai)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

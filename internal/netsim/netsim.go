@@ -1,0 +1,275 @@
+// Package netsim provides an in-memory packet-level radio network used
+// by the protocol layer: nodes with positions and radio range,
+// broadcast/unicast within the radio neighborhood, per-link loss and
+// latency, and tick-driven delivery. It is the substrate on which the
+// testbed's control-plane protocols (time sync, schedule dissemination,
+// data collection) are reproduced.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cool/internal/geometry"
+	"cool/internal/stats"
+)
+
+// NodeID identifies a node in the radio network.
+type NodeID int
+
+// Message is one packet delivered to a node.
+type Message struct {
+	// From is the transmitting node.
+	From NodeID
+	// To is the destination (the receiving node; broadcasts are
+	// expanded into one message per neighbor).
+	To NodeID
+	// Payload is the protocol-defined content.
+	Payload any
+	// SentAt and DeliveredAt are network ticks.
+	SentAt, DeliveredAt int
+}
+
+// Config tunes the radio medium.
+type Config struct {
+	// Loss is the independent per-link drop probability in [0, 1).
+	Loss float64
+	// MinDelay and MaxDelay bound the per-packet delivery latency in
+	// ticks (defaults 1 and 1: next-tick delivery).
+	MinDelay, MaxDelay int
+	// Seed drives loss and jitter.
+	Seed uint64
+}
+
+func (c *Config) defaults() error {
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("netsim: loss %v outside [0,1)", c.Loss)
+	}
+	if c.MinDelay == 0 {
+		c.MinDelay = 1
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = c.MinDelay
+	}
+	if c.MinDelay < 1 || c.MaxDelay < c.MinDelay {
+		return fmt.Errorf("netsim: bad delay range [%d, %d]", c.MinDelay, c.MaxDelay)
+	}
+	return nil
+}
+
+type node struct {
+	id    NodeID
+	pos   geometry.Point
+	radio float64
+	inbox []Message
+	down  bool
+}
+
+// Network is the simulated radio medium. It is not safe for concurrent
+// use; the protocol layer drives it from a single goroutine, matching
+// the deterministic-simulation idiom.
+type Network struct {
+	cfg     Config
+	rng     *stats.RNG
+	nodes   map[NodeID]*node
+	order   []NodeID // deterministic iteration order
+	pending map[int][]Message
+	now     int
+	// counters
+	sent, delivered, dropped int
+}
+
+// New builds an empty network.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed),
+		nodes:   make(map[NodeID]*node),
+		pending: make(map[int][]Message),
+	}, nil
+}
+
+// AddNode registers a node with a position and radio range.
+func (n *Network) AddNode(id NodeID, pos geometry.Point, radioRange float64) error {
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("netsim: duplicate node %d", id)
+	}
+	if radioRange <= 0 {
+		return fmt.Errorf("netsim: node %d has non-positive radio range %v", id, radioRange)
+	}
+	n.nodes[id] = &node{id: id, pos: pos, radio: radioRange}
+	n.order = append(n.order, id)
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	return nil
+}
+
+// Now returns the current tick.
+func (n *Network) Now() int { return n.now }
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Neighbors returns the nodes within radio range of id (symmetric links
+// require both radios to reach; we use the transmitter's range, the
+// usual unit-disk model).
+func (n *Network) Neighbors(id NodeID) ([]NodeID, error) {
+	src, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown node %d", id)
+	}
+	if src.down {
+		return nil, nil
+	}
+	var out []NodeID
+	for _, other := range n.order {
+		if other == id {
+			continue
+		}
+		dst := n.nodes[other]
+		if !dst.down && src.pos.Dist(dst.pos) <= src.radio {
+			out = append(out, other)
+		}
+	}
+	return out, nil
+}
+
+// SetDown marks a node failed (or recovered). A down node neither
+// sends nor receives: its queued deliveries are silently dropped and it
+// disappears from every neighborhood until brought back up.
+func (n *Network) SetDown(id NodeID, down bool) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	nd.down = down
+	if down {
+		nd.inbox = nil
+	}
+	return nil
+}
+
+// IsDown reports whether a node is currently failed.
+func (n *Network) IsDown(id NodeID) bool {
+	nd, ok := n.nodes[id]
+	return ok && nd.down
+}
+
+// Connected reports whether the radio graph is connected (every node
+// reachable from the first), a precondition for dissemination and
+// collection to terminate.
+func (n *Network) Connected() bool {
+	if len(n.order) <= 1 {
+		return true
+	}
+	seen := map[NodeID]bool{n.order[0]: true}
+	queue := []NodeID{n.order[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		neigh, err := n.Neighbors(cur)
+		if err != nil {
+			return false
+		}
+		for _, nb := range neigh {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(seen) == len(n.order)
+}
+
+// enqueue schedules delivery of one message with loss and jitter.
+func (n *Network) enqueue(m Message) {
+	n.sent++
+	if n.rng.Bernoulli(n.cfg.Loss) {
+		n.dropped++
+		return
+	}
+	delay := n.cfg.MinDelay
+	if n.cfg.MaxDelay > n.cfg.MinDelay {
+		delay += n.rng.Intn(n.cfg.MaxDelay - n.cfg.MinDelay + 1)
+	}
+	m.DeliveredAt = n.now + delay
+	n.pending[m.DeliveredAt] = append(n.pending[m.DeliveredAt], m)
+}
+
+// Broadcast transmits a payload to every radio neighbor of from.
+func (n *Network) Broadcast(from NodeID, payload any) error {
+	neigh, err := n.Neighbors(from)
+	if err != nil {
+		return err
+	}
+	for _, to := range neigh {
+		n.enqueue(Message{From: from, To: to, Payload: payload, SentAt: n.now})
+	}
+	return nil
+}
+
+// Send transmits a payload to a specific neighbor. It returns an error
+// when the destination is not within radio range.
+func (n *Network) Send(from, to NodeID, payload any) error {
+	neigh, err := n.Neighbors(from)
+	if err != nil {
+		return err
+	}
+	for _, nb := range neigh {
+		if nb == to {
+			n.enqueue(Message{From: from, To: to, Payload: payload, SentAt: n.now})
+			return nil
+		}
+	}
+	return fmt.Errorf("netsim: node %d cannot reach %d", from, to)
+}
+
+// Step advances the network by one tick, moving due messages into their
+// destinations' inboxes.
+func (n *Network) Step() {
+	n.now++
+	due := n.pending[n.now]
+	delete(n.pending, n.now)
+	for _, m := range due {
+		dst, ok := n.nodes[m.To]
+		if !ok || dst.down {
+			n.dropped++
+			continue
+		}
+		dst.inbox = append(dst.inbox, m)
+		n.delivered++
+	}
+}
+
+// Receive drains and returns the inbox of a node.
+func (n *Network) Receive(id NodeID) ([]Message, error) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown node %d", id)
+	}
+	out := nd.inbox
+	nd.inbox = nil
+	return out, nil
+}
+
+// Stats returns cumulative (sent, delivered, dropped) packet counts.
+// Sent counts per-receiver transmissions (a broadcast to k neighbors
+// counts k).
+func (n *Network) Stats() (sent, delivered, dropped int) {
+	return n.sent, n.delivered, n.dropped
+}
+
+// ErrUnknownNode is a sentinel for lookups of unregistered nodes.
+var ErrUnknownNode = errors.New("netsim: unknown node")
+
+// Position returns a node's position.
+func (n *Network) Position(id NodeID) (geometry.Point, error) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return geometry.Point{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return nd.pos, nil
+}

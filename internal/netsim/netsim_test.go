@@ -1,0 +1,272 @@
+package netsim
+
+import (
+	"testing"
+
+	"cool/internal/geometry"
+)
+
+func lineNetwork(t *testing.T, cfg Config, spacing float64, n int, radio float64) *Network {
+	t.Helper()
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := net.AddNode(NodeID(i), geometry.Point{X: float64(i) * spacing}, radio); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Loss: -0.1}); err == nil {
+		t.Error("negative loss accepted")
+	}
+	if _, err := New(Config{Loss: 1}); err == nil {
+		t.Error("loss=1 accepted")
+	}
+	if _, err := New(Config{MinDelay: 3, MaxDelay: 1}); err == nil {
+		t.Error("inverted delays accepted")
+	}
+	if _, err := New(Config{MinDelay: -1, MaxDelay: -1}); err == nil {
+		t.Error("negative delays accepted")
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	net, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(1, geometry.Point{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(1, geometry.Point{}, 10); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := net.AddNode(2, geometry.Point{}, 0); err == nil {
+		t.Error("zero radio range accepted")
+	}
+}
+
+func TestNeighborsLine(t *testing.T) {
+	net := lineNetwork(t, Config{}, 10, 4, 15)
+	n1, err := net.Neighbors(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n1) != 2 || n1[0] != 0 || n1[1] != 2 {
+		t.Errorf("Neighbors(1) = %v, want [0 2]", n1)
+	}
+	n0, err := net.Neighbors(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n0) != 1 || n0[0] != 1 {
+		t.Errorf("Neighbors(0) = %v, want [1]", n0)
+	}
+	if _, err := net.Neighbors(99); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !lineNetwork(t, Config{}, 10, 5, 15).Connected() {
+		t.Error("line should be connected")
+	}
+	if lineNetwork(t, Config{}, 100, 3, 15).Connected() {
+		t.Error("sparse line should be disconnected")
+	}
+	if !lineNetwork(t, Config{}, 10, 1, 15).Connected() {
+		t.Error("singleton should be connected")
+	}
+}
+
+func TestSendAndReceive(t *testing.T) {
+	net := lineNetwork(t, Config{}, 10, 3, 15)
+	if err := net.Send(0, 1, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	// Not delivered before the step.
+	msgs, err := net.Receive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Fatal("message delivered before Step")
+	}
+	net.Step()
+	msgs, err = net.Receive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Payload != "hello" || msgs[0].From != 0 {
+		t.Fatalf("messages = %+v", msgs)
+	}
+	// Receive drains.
+	msgs, _ = net.Receive(1)
+	if len(msgs) != 0 {
+		t.Error("Receive did not drain inbox")
+	}
+}
+
+func TestSendOutOfRange(t *testing.T) {
+	net := lineNetwork(t, Config{}, 10, 3, 15)
+	if err := net.Send(0, 2, "x"); err == nil {
+		t.Error("send beyond radio range accepted")
+	}
+	if err := net.Send(99, 0, "x"); err == nil {
+		t.Error("send from unknown node accepted")
+	}
+}
+
+func TestBroadcastReachesAllNeighbors(t *testing.T) {
+	net := lineNetwork(t, Config{}, 10, 3, 15)
+	if err := net.Broadcast(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	net.Step()
+	for _, id := range []NodeID{0, 2} {
+		msgs, err := net.Receive(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 1 || msgs[0].Payload != 42 {
+			t.Errorf("node %d messages = %+v", id, msgs)
+		}
+	}
+	if msgs, _ := net.Receive(1); len(msgs) != 0 {
+		t.Error("broadcaster received its own packet")
+	}
+}
+
+func TestLossDropsPackets(t *testing.T) {
+	net := lineNetwork(t, Config{Loss: 0.5, Seed: 1}, 10, 2, 15)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := net.Send(0, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Step()
+	msgs, err := net.Receive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(msgs)) / n
+	if got < 0.4 || got > 0.6 {
+		t.Errorf("delivery rate %v, want ~0.5", got)
+	}
+	sent, delivered, dropped := net.Stats()
+	if sent != n || delivered+dropped != n {
+		t.Errorf("stats inconsistent: %d %d %d", sent, delivered, dropped)
+	}
+}
+
+func TestDelayJitter(t *testing.T) {
+	net := lineNetwork(t, Config{MinDelay: 1, MaxDelay: 3, Seed: 2}, 10, 2, 15)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := net.Send(0, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make([]int, 4)
+	for step := 1; step <= 3; step++ {
+		net.Step()
+		msgs, err := net.Receive(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[step] = len(msgs)
+	}
+	total := counts[1] + counts[2] + counts[3]
+	if total != n {
+		t.Fatalf("delivered %d of %d within max delay", total, n)
+	}
+	for d := 1; d <= 3; d++ {
+		if counts[d] == 0 {
+			t.Errorf("no messages with delay %d; jitter not applied", d)
+		}
+	}
+}
+
+func TestStepMonotonicClock(t *testing.T) {
+	net := lineNetwork(t, Config{}, 10, 2, 15)
+	if net.Now() != 0 {
+		t.Error("fresh network clock not 0")
+	}
+	net.Step()
+	net.Step()
+	if net.Now() != 2 {
+		t.Errorf("Now = %d, want 2", net.Now())
+	}
+}
+
+func TestPositionLookup(t *testing.T) {
+	net := lineNetwork(t, Config{}, 10, 2, 15)
+	p, err := net.Position(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X != 10 {
+		t.Errorf("position = %v", p)
+	}
+	if _, err := net.Position(9); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := net.Receive(9); err == nil {
+		t.Error("Receive of unknown node accepted")
+	}
+}
+
+func TestSetDown(t *testing.T) {
+	net := lineNetwork(t, Config{}, 10, 3, 15)
+	if err := net.SetDown(9, true); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := net.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !net.IsDown(1) || net.IsDown(0) {
+		t.Error("IsDown wrong")
+	}
+	// Down nodes vanish from neighborhoods.
+	n0, err := net.Neighbors(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n0) != 0 {
+		t.Errorf("Neighbors(0) = %v with node 1 down", n0)
+	}
+	// In-flight messages to a node that fails are dropped.
+	if err := net.SetDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	net.Step()
+	if err := net.SetDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := net.Receive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Error("message delivered to a down node")
+	}
+	// Down senders cannot transmit.
+	if err := net.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(0, 1, "x"); err == nil {
+		t.Error("down sender transmitted")
+	}
+}

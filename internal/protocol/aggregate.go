@@ -1,0 +1,190 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+
+	"cool/internal/netsim"
+)
+
+// In-network aggregation: instead of forwarding every raw reading, each
+// relay combines its children's partial aggregates with its own reading
+// and sends a single packet up the tree — the standard
+// convergecast-aggregation schedule, where nodes deeper in the tree
+// transmit earlier so parents can fold their contributions in.
+//
+// Timing: a Query floods down with a per-node send deadline derived
+// from tree depth. A node at depth h sends its partial aggregate
+// (depthBudget − h)·slack ticks after adopting the query, so leaves
+// (large h) send first and the root last.
+
+// Query starts one aggregation round; it floods like a beacon.
+type Query struct {
+	// Round identifies the aggregation round.
+	Round int
+	// DepthBudget bounds the assumed tree depth.
+	DepthBudget int
+	// Slack is the per-level time allowance in ticks.
+	Slack int
+}
+
+// AggMsg is a partial aggregate travelling toward the base.
+type AggMsg struct {
+	// Round echoes the query round.
+	Round int
+	// Count, Sum, Min, Max summarize the subtree's readings.
+	Count    int
+	Sum      float64
+	Min, Max float64
+}
+
+// merge folds other into a.
+func (a *AggMsg) merge(other AggMsg) {
+	if other.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = other
+		return
+	}
+	a.Count += other.Count
+	a.Sum += other.Sum
+	a.Min = math.Min(a.Min, other.Min)
+	a.Max = math.Max(a.Max, other.Max)
+}
+
+// aggState is a node's per-round aggregation state.
+type aggState struct {
+	round   int
+	partial AggMsg
+	sendAt  int
+	sent    bool
+}
+
+// AggResult is the base station's view of a completed round.
+type AggResult struct {
+	// Round is the aggregation round.
+	Round int
+	// Count is the number of readings folded in (≤ network size −
+	// losses).
+	Count int
+	// Sum, Min, Max aggregate the readings; Mean is derived.
+	Sum, Min, Max float64
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (r AggResult) Mean() float64 {
+	if r.Count == 0 {
+		return 0
+	}
+	return r.Sum / float64(r.Count)
+}
+
+// StartAggregation floods a query for one round. value supplies each
+// node's reading for this round (including the base's own, when
+// includeBase). depthBudget should exceed the tree depth; slack ≥ 2
+// gives each level time to hear its children over the jittery medium.
+func (e *Engine) StartAggregation(round int, value func(netsim.NodeID) float64, depthBudget, slack int) error {
+	if value == nil {
+		return fmt.Errorf("protocol: nil value function")
+	}
+	if depthBudget < 1 || slack < 1 {
+		return fmt.Errorf("protocol: bad aggregation timing budget=%d slack=%d", depthBudget, slack)
+	}
+	if e.aggValues == nil {
+		e.aggValues = make(map[int]func(netsim.NodeID) float64)
+		e.aggResults = make(map[int]*AggMsg)
+	}
+	e.aggValues[round] = value
+	e.aggResults[round] = &AggMsg{}
+	// The base's own reading joins the final result directly.
+	base := e.nodes[BaseID]
+	v := value(BaseID)
+	e.aggResults[round].merge(AggMsg{Round: round, Count: 1, Sum: v, Min: v, Max: v})
+	_ = base
+	return e.net.Broadcast(BaseID, Query{Round: round, DepthBudget: depthBudget, Slack: slack})
+}
+
+// AggregateResult returns the (possibly partial) result of a round.
+func (e *Engine) AggregateResult(round int) (AggResult, bool) {
+	p, ok := e.aggResults[round]
+	if !ok {
+		return AggResult{}, false
+	}
+	return AggResult{
+		Round: round,
+		Count: p.Count,
+		Sum:   p.Sum,
+		Min:   p.Min,
+		Max:   p.Max,
+	}, true
+}
+
+// handleQuery processes a query at a non-base node: adopt once,
+// schedule the staggered send, and re-flood.
+func (e *Engine) handleQuery(st *nodeState, q Query) {
+	if st.id == BaseID {
+		return
+	}
+	if st.agg != nil && st.agg.round >= q.Round {
+		return // already participating in this or a newer round
+	}
+	valueFn := e.aggValues[q.Round]
+	if valueFn == nil {
+		return // stale round the base no longer tracks
+	}
+	depth := st.hops
+	if depth <= 0 || depth > q.DepthBudget {
+		depth = q.DepthBudget
+	}
+	v := valueFn(st.id)
+	st.agg = &aggState{
+		round: q.Round,
+		partial: AggMsg{
+			Round: q.Round, Count: 1, Sum: v, Min: v, Max: v,
+		},
+		sendAt: e.net.Now() + (q.DepthBudget-depth)*q.Slack + 1,
+	}
+	st.outbox = append(st.outbox, q) // continue the flood
+}
+
+// handleAggMsg folds a child's partial aggregate into this node's
+// round state (or the base's final result).
+func (e *Engine) handleAggMsg(st *nodeState, m AggMsg) {
+	if st.id == BaseID {
+		if res, ok := e.aggResults[m.Round]; ok {
+			res.merge(m)
+		}
+		return
+	}
+	if st.agg == nil || st.agg.round != m.Round || st.agg.sent {
+		// Too late to fold in: forward as-is so the data is not lost
+		// (the parent or base can still use it).
+		st.outbox = append(st.outbox, addressedAgg{msg: m})
+		return
+	}
+	st.agg.partial.merge(m)
+}
+
+// addressedAgg marks an aggregate that must be forwarded to the parent
+// without folding (late arrival).
+type addressedAgg struct {
+	msg AggMsg
+}
+
+// flushAggregates sends a node's partial aggregate when its staggered
+// deadline arrives.
+func (e *Engine) flushAggregates(st *nodeState) error {
+	if st.id == BaseID || st.agg == nil || st.agg.sent {
+		return nil
+	}
+	if e.net.Now() < st.agg.sendAt || st.parent < 0 {
+		return nil
+	}
+	if err := e.net.Send(st.id, st.parent, st.agg.partial); err != nil {
+		st.parent = -1
+		return nil
+	}
+	st.agg.sent = true
+	return nil
+}

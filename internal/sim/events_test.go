@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"cool/internal/submodular"
+)
+
+func TestEventConfigValidate(t *testing.T) {
+	good := EventConfig{
+		Targets:       1,
+		Coverers:      func(int) []int { return []int{0} },
+		Prob:          func(int, int) float64 { return 0.4 },
+		EventsPerSlot: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []EventConfig{
+		{Targets: 0, Coverers: good.Coverers, Prob: good.Prob, EventsPerSlot: 1},
+		{Targets: 1, Prob: good.Prob, EventsPerSlot: 1},
+		{Targets: 1, Coverers: good.Coverers, EventsPerSlot: 1},
+		{Targets: 1, Coverers: good.Coverers, Prob: good.Prob, EventsPerSlot: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestEventResultDetectionRate(t *testing.T) {
+	if (EventResult{}).DetectionRate() != 0 {
+		t.Error("empty rate should be 0")
+	}
+	r := EventResult{Events: 4, Detected: 3}
+	if r.DetectionRate() != 0.75 {
+		t.Errorf("rate = %v", r.DetectionRate())
+	}
+}
+
+// TestEmpiricalDetectionMatchesUtility is the end-to-end semantic
+// check of the paper's utility model: generating concrete events and
+// sampling per-sensor detections yields an empirical detection rate
+// that converges to the analytic average utility of the executed
+// schedule.
+func TestEmpiricalDetectionMatchesUtility(t *testing.T) {
+	const (
+		n = 12
+		m = 3
+		p = 0.4
+	)
+	// Multi-target utility where target j is covered by a distinct
+	// subset (sensors j, j+3, j+6, j+9).
+	coverers := func(target int) []int {
+		var out []int
+		for v := target; v < n; v += m {
+			out = append(out, v)
+		}
+		return out
+	}
+	targets := make([]submodular.DetectionTarget, m)
+	for j := range targets {
+		probs := make(map[int]float64)
+		for _, v := range coverers(j) {
+			probs[v] = p
+		}
+		targets[j] = submodular.DetectionTarget{Weight: 1, Probs: probs}
+	}
+	u, err := submodular.NewDetectionUtility(n, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	period := rhoPeriod(t, 3)
+	sched := greedySchedule(t, n, period, factory)
+
+	const slots = 4000 // long run so the empirical rate converges
+	res, err := RunWithEvents(Config{
+		NumSensors: n,
+		Slots:      slots,
+		Policy:     SchedulePolicy{Schedule: sched},
+		Charging:   DeterministicCharging{Period: period},
+		Factory:    factory,
+		Targets:    m,
+		Seed:       17,
+	}, EventConfig{
+		Targets:       m,
+		Coverers:      coverers,
+		Prob:          func(int, int) float64 { return p },
+		EventsPerSlot: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events < slots*m*9/10 {
+		t.Fatalf("unexpectedly few events: %d", res.Events)
+	}
+	analytic := res.Result.AverageUtility
+	empirical := res.DetectionRate()
+	if math.Abs(analytic-empirical) > 0.02 {
+		t.Errorf("empirical detection rate %.4f deviates from analytic utility %.4f",
+			empirical, analytic)
+	}
+}
+
+func TestRunWithEventsValidation(t *testing.T) {
+	u := singleTargetUtility(t, 2, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	period := rhoPeriod(t, 1)
+	sched := greedySchedule(t, 2, period, factory)
+	cfg := Config{
+		NumSensors: 2, Slots: 2,
+		Policy:   SchedulePolicy{Schedule: sched},
+		Charging: DeterministicCharging{Period: period},
+		Factory:  factory,
+	}
+	if _, err := RunWithEvents(cfg, EventConfig{}); err == nil {
+		t.Error("invalid event config accepted")
+	}
+	// Underlying sim errors propagate.
+	badCfg := cfg
+	badCfg.Slots = 0
+	if _, err := RunWithEvents(badCfg, EventConfig{
+		Targets:       1,
+		Coverers:      func(int) []int { return nil },
+		Prob:          func(int, int) float64 { return 0 },
+		EventsPerSlot: 1,
+	}); err == nil {
+		t.Error("invalid sim config accepted")
+	}
+}
+
+func TestActiveSetsRecorded(t *testing.T) {
+	u := singleTargetUtility(t, 4, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	period := rhoPeriod(t, 3)
+	sched := greedySchedule(t, 4, period, factory)
+	res, err := Run(Config{
+		NumSensors: 4, Slots: 8,
+		Policy:   SchedulePolicy{Schedule: sched},
+		Charging: DeterministicCharging{Period: period},
+		Factory:  factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ActiveSets) != 8 {
+		t.Fatalf("ActiveSets length %d", len(res.ActiveSets))
+	}
+	for i, rec := range res.PerSlot {
+		if len(res.ActiveSets[i]) != rec.Active {
+			t.Errorf("slot %d: recorded %d active, counted %d",
+				i, len(res.ActiveSets[i]), rec.Active)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"fmt"
+
+	"cool/internal/core"
+	"cool/internal/energy"
+	"cool/internal/stats"
+)
+
+// HeterogeneousCharging gives every sensor its own deterministic
+// charging period (extension E1: mixed panel counts, shading). It is
+// incompatible with WeatherShift, which assumes a fleet-wide pattern.
+type HeterogeneousCharging struct {
+	// Periods holds one normalized charging period per sensor.
+	Periods []energy.Period
+}
+
+var _ ChargingModel = HeterogeneousCharging{}
+
+func (h HeterogeneousCharging) newBattery(v int) (*energy.Battery, error) {
+	if v < 0 || v >= len(h.Periods) {
+		return nil, fmt.Errorf("sim: no period for sensor %d (have %d)", v, len(h.Periods))
+	}
+	if err := h.Periods[v].Validate(); err != nil {
+		return nil, fmt.Errorf("sim: sensor %d: %w", v, err)
+	}
+	return energy.NewBattery(1, DeterministicCharging{Period: h.Periods[v]}.rates())
+}
+
+func (h HeterogeneousCharging) slotRates(base energy.Rates, _ *stats.RNG) energy.Rates {
+	return base
+}
+
+// HeteroSchedulePolicy follows a heterogeneous (per-sensor-period)
+// schedule.
+type HeteroSchedulePolicy struct {
+	// Schedule is the hyperperiodic schedule to follow.
+	Schedule *core.HeteroSchedule
+}
+
+var _ Policy = HeteroSchedulePolicy{}
+
+// Activate implements Policy.
+func (p HeteroSchedulePolicy) Activate(t int, _ []int) []int {
+	return p.Schedule.ActiveAt(t)
+}

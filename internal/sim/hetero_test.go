@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"cool/internal/core"
+	"cool/internal/energy"
+	"cool/internal/submodular"
+)
+
+func heteroPeriods(t *testing.T, rhos ...float64) []energy.Period {
+	t.Helper()
+	out := make([]energy.Period, len(rhos))
+	for i, rho := range rhos {
+		p, err := energy.PeriodFromRho(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// TestHeteroScheduleSimulationMatchesAnalytic: executing the
+// heterogeneous greedy schedule under per-sensor charging reproduces
+// its analytic hyperperiod utility with no denied activations.
+func TestHeteroScheduleSimulationMatchesAnalytic(t *testing.T) {
+	const n = 6
+	u := singleTargetUtility(t, n, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	periods := heteroPeriods(t, 1, 1, 3, 3, 5, 5)
+	hs, err := core.GreedyHetero(core.HeteroInstance{Periods: periods, Factory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 3
+	res, err := Run(Config{
+		NumSensors: n,
+		Slots:      cycles * hs.Hyperperiod(),
+		Policy:     HeteroSchedulePolicy{Schedule: hs},
+		Charging:   HeterogeneousCharging{Periods: periods},
+		Factory:    factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActivationsDenied != 0 {
+		t.Errorf("denied activations: %d", res.ActivationsDenied)
+	}
+	want := float64(cycles) * hs.HyperperiodUtility(factory)
+	if math.Abs(res.TotalUtility-want) > 1e-9 {
+		t.Errorf("simulated %v != analytic %v", res.TotalUtility, want)
+	}
+}
+
+func TestHeterogeneousChargingValidation(t *testing.T) {
+	h := HeterogeneousCharging{Periods: heteroPeriods(t, 3)}
+	if _, err := h.newBattery(5); err == nil {
+		t.Error("out-of-range sensor accepted")
+	}
+	if _, err := h.newBattery(-1); err == nil {
+		t.Error("negative sensor accepted")
+	}
+	bad := HeterogeneousCharging{Periods: []energy.Period{{}}}
+	if _, err := bad.newBattery(0); err == nil {
+		t.Error("invalid period accepted")
+	}
+	// Run surfaces the validation error.
+	u := singleTargetUtility(t, 2, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	_, err := Run(Config{
+		NumSensors: 2, Slots: 2,
+		Policy:   AllReadyPolicy{},
+		Charging: HeterogeneousCharging{Periods: heteroPeriods(t, 3)}, // too few
+		Factory:  factory,
+	})
+	if err == nil {
+		t.Error("period/sensor count mismatch accepted")
+	}
+}
+
+// TestHeteroFastChargersCycleMoreOften: under all-ready, a ρ=1 sensor
+// activates twice as often as a ρ=3 sensor.
+func TestHeteroFastChargersCycleMoreOften(t *testing.T) {
+	u := singleTargetUtility(t, 2, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	periods := heteroPeriods(t, 1, 3)
+	res, err := Run(Config{
+		NumSensors: 2,
+		Slots:      24,
+		Policy:     AllReadyPolicy{},
+		Charging:   HeterogeneousCharging{Periods: periods},
+		Factory:    factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	for _, set := range res.ActiveSets {
+		for _, v := range set {
+			counts[v]++
+		}
+	}
+	// Sensor 0 (T=2) activates every other slot: 12 of 24; sensor 1
+	// (T=4) every fourth: 6 of 24.
+	if counts[0] != 12 || counts[1] != 6 {
+		t.Errorf("activation counts = %v, want [12 6]", counts)
+	}
+}
+
+func TestHeterogeneousChargingRejectsWeatherShifts(t *testing.T) {
+	u := singleTargetUtility(t, 2, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	_, err := Run(Config{
+		NumSensors: 2, Slots: 4,
+		Policy:   AllReadyPolicy{},
+		Charging: HeterogeneousCharging{Periods: heteroPeriods(t, 1, 3)},
+		Factory:  factory,
+		Weather:  []WeatherShift{{AtSlot: 2, NewPeriod: rhoPeriod(t, 5)}},
+	})
+	if err == nil {
+		t.Error("weather shift with heterogeneous charging accepted")
+	}
+}

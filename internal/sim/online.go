@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"cool/internal/core"
+)
+
+// OnlineGreedyPolicy implements the paper's first future-work item
+// (Section VIII): activating partially recharged sensors. Instead of
+// following a precomputed schedule that assumes full recharge between
+// activations, it decides online each slot: among the sensors whose
+// current charge can sustain one active slot (the simulator's ready
+// set, which under partial-charge semantics includes partially
+// recharged nodes), it greedily activates the highest-marginal-gain
+// sensors up to a per-slot budget.
+//
+// The budget throttles consumption so the fleet is not burned in one
+// slot; Budget = ⌈n/T⌉ matches the steady-state activation rate of a
+// periodic schedule and is used when Budget ≤ 0.
+type OnlineGreedyPolicy struct {
+	// Factory builds the per-slot utility oracle used to rank sensors.
+	Factory core.OracleFactory
+	// Budget caps activations per slot (≤ 0 selects ⌈n/T⌉; see
+	// DefaultBudget).
+	Budget int
+	// MinGain stops activating when the best remaining marginal gain
+	// falls to or below this threshold (set 0 to use every budgeted
+	// slot that still helps).
+	MinGain float64
+}
+
+var _ Policy = OnlineGreedyPolicy{}
+
+// DefaultBudget returns ⌈n/T⌉, the per-slot activation rate a periodic
+// schedule sustains.
+func DefaultBudget(n, periodSlots int) int {
+	if periodSlots <= 0 {
+		return n
+	}
+	return (n + periodSlots - 1) / periodSlots
+}
+
+// Activate implements Policy: pick up to Budget ready sensors by
+// decreasing marginal utility.
+func (p OnlineGreedyPolicy) Activate(_ int, ready []int) []int {
+	if p.Factory == nil || len(ready) == 0 {
+		return nil
+	}
+	budget := p.Budget
+	if budget <= 0 {
+		budget = len(ready)
+	}
+	if budget > len(ready) {
+		budget = len(ready)
+	}
+	oracle := p.Factory()
+	chosen := make([]bool, len(ready))
+	out := make([]int, 0, budget)
+	for len(out) < budget {
+		bestIdx, bestGain := -1, p.MinGain
+		for i, v := range ready {
+			if chosen[i] {
+				continue
+			}
+			if g := oracle.Gain(v); g > bestGain {
+				bestIdx, bestGain = i, g
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		chosen[bestIdx] = true
+		oracle.Add(ready[bestIdx])
+		out = append(out, ready[bestIdx])
+	}
+	return out
+}

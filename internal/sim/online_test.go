@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+
+	"cool/internal/submodular"
+)
+
+func TestDefaultBudget(t *testing.T) {
+	cases := []struct{ n, T, want int }{
+		{100, 4, 25},
+		{101, 4, 26},
+		{3, 4, 1},
+		{5, 0, 5},
+	}
+	for _, c := range cases {
+		if got := DefaultBudget(c.n, c.T); got != c.want {
+			t.Errorf("DefaultBudget(%d,%d) = %d, want %d", c.n, c.T, got, c.want)
+		}
+	}
+}
+
+func TestOnlineGreedyPolicyActivate(t *testing.T) {
+	u := singleTargetUtility(t, 6, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	p := OnlineGreedyPolicy{Factory: factory, Budget: 2}
+	got := p.Activate(0, []int{0, 1, 2, 3})
+	if len(got) != 2 {
+		t.Fatalf("activated %d, want budget 2", len(got))
+	}
+	// Empty ready set and nil factory degrade gracefully.
+	if out := p.Activate(0, nil); len(out) != 0 {
+		t.Error("empty ready set should yield nothing")
+	}
+	if out := (OnlineGreedyPolicy{}).Activate(0, []int{1}); len(out) != 0 {
+		t.Error("nil factory should yield nothing")
+	}
+}
+
+func TestOnlineGreedyPolicyMinGain(t *testing.T) {
+	// Sensor 2 covers nothing: with MinGain 0 it is never selected.
+	u, err := submodular.NewDetectionUtility(3, []submodular.DetectionTarget{
+		{Weight: 1, Probs: map[int]float64{0: 0.5, 1: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	p := OnlineGreedyPolicy{Factory: factory, Budget: 3}
+	got := p.Activate(0, []int{0, 1, 2})
+	if len(got) != 2 {
+		t.Fatalf("activated %v, want the two covering sensors only", got)
+	}
+	for _, v := range got {
+		if v == 2 {
+			t.Error("zero-gain sensor activated")
+		}
+	}
+}
+
+// TestOnlineGreedyMatchesScheduleDeterministic: under deterministic
+// charging with the matched budget, the online policy sustains the
+// same steady-state utility as the offline greedy schedule on the
+// symmetric single-target workload.
+func TestOnlineGreedyMatchesScheduleDeterministic(t *testing.T) {
+	const n = 12
+	u := singleTargetUtility(t, n, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	period := rhoPeriod(t, 3)
+	sched := greedySchedule(t, n, period, factory)
+	slots := 12 * period.Slots()
+
+	offline, err := Run(Config{
+		NumSensors: n, Slots: slots,
+		Policy:   SchedulePolicy{Schedule: sched},
+		Charging: DeterministicCharging{Period: period},
+		Factory:  factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := Run(Config{
+		NumSensors: n, Slots: slots,
+		Policy: OnlineGreedyPolicy{
+			Factory: factory,
+			Budget:  DefaultBudget(n, period.Slots()),
+		},
+		Charging: DeterministicCharging{Period: period},
+		Factory:  factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.AverageUtility < 0.9*offline.AverageUtility {
+		t.Errorf("online %v far below offline %v", online.AverageUtility, offline.AverageUtility)
+	}
+}
+
+// TestOnlineGreedyBeatsRigidScheduleUnderJitter: the future-work
+// motivation — when recharge times jitter (Section V), the adaptive
+// policy that activates partially recharged/re-ready sensors
+// outperforms the rigid schedule that forfeits missed slots.
+func TestOnlineGreedyBeatsRigidScheduleUnderJitter(t *testing.T) {
+	const n = 20
+	u := singleTargetUtility(t, n, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	period := rhoPeriod(t, 3)
+	sched := greedySchedule(t, n, period, factory)
+	charging := RandomCharging{
+		Period:          period,
+		EventRate:       8, // saturated: active slots drain fully
+		EventDuration:   2,
+		RechargeStdFrac: 0.25,
+	}
+	slots := 60 * period.Slots()
+
+	rigid, err := Run(Config{
+		NumSensors: n, Slots: slots,
+		Policy:   SchedulePolicy{Schedule: sched},
+		Charging: charging,
+		Factory:  factory,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Run(Config{
+		NumSensors: n, Slots: slots,
+		Policy: OnlineGreedyPolicy{
+			Factory: factory,
+			Budget:  DefaultBudget(n, period.Slots()),
+		},
+		Charging: charging,
+		Factory:  factory,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.AverageUtility <= rigid.AverageUtility {
+		t.Errorf("adaptive %v did not beat rigid %v under recharge jitter",
+			adaptive.AverageUtility, rigid.AverageUtility)
+	}
+}

@@ -1,0 +1,373 @@
+// Package sim executes time-slotted simulations of a solar-powered WSN
+// under an activation policy: energy bookkeeping with the paper's
+// three-state automaton (Section II-B), deterministic or random
+// (Section V) charging, utility accounting per slot, and fault
+// injection (node death, mid-run weather change).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"cool/internal/core"
+	"cool/internal/energy"
+	"cool/internal/stats"
+)
+
+// Policy decides which sensors to activate at the start of each slot.
+type Policy interface {
+	// Activate returns the sensors to switch on at slot t. ready lists
+	// the sensors currently able to activate (fully charged); the
+	// simulator ignores requested sensors that are not ready.
+	Activate(t int, ready []int) []int
+}
+
+// SchedulePolicy activates the sensors a precomputed periodic schedule
+// names for each slot.
+type SchedulePolicy struct {
+	// Schedule is the periodic activation schedule to follow.
+	Schedule *core.Schedule
+}
+
+var _ Policy = SchedulePolicy{}
+
+// Activate implements Policy. It requests exactly the scheduled set;
+// the simulator enforces energy feasibility and counts requests it has
+// to deny (dead or insufficiently charged sensors).
+func (p SchedulePolicy) Activate(t int, _ []int) []int {
+	return p.Schedule.ActiveAt(t)
+}
+
+// AllReadyPolicy greedily activates every ready sensor every slot — the
+// naive baseline that burns the whole network in the first slots of
+// each period.
+type AllReadyPolicy struct{}
+
+var _ Policy = AllReadyPolicy{}
+
+// Activate implements Policy.
+func (AllReadyPolicy) Activate(_ int, ready []int) []int { return ready }
+
+// ChargingModel produces per-sensor battery behaviour.
+type ChargingModel interface {
+	// newBattery builds the battery of sensor v.
+	newBattery(v int) (*energy.Battery, error)
+	// slotRates returns the effective (discharge, recharge) rates for
+	// one sensor for one slot, letting stochastic models resample each
+	// slot.
+	slotRates(base energy.Rates, rng *stats.RNG) energy.Rates
+}
+
+// DeterministicCharging is the paper's base model: fixed μd and μr,
+// derived from a normalized period (capacity 1; discharge drains a full
+// battery in ActiveSlots ticks, recharge refills it in PassiveSlots).
+type DeterministicCharging struct {
+	// Period is the normalized charging period.
+	Period energy.Period
+}
+
+var _ ChargingModel = DeterministicCharging{}
+
+func (d DeterministicCharging) rates() energy.Rates {
+	return energy.Rates{
+		Discharge: 1 / float64(d.Period.ActiveSlots),
+		Recharge:  1 / float64(d.Period.PassiveSlots),
+	}
+}
+
+func (d DeterministicCharging) newBattery(int) (*energy.Battery, error) {
+	if err := d.Period.Validate(); err != nil {
+		return nil, err
+	}
+	return energy.NewBattery(1, d.rates())
+}
+
+func (d DeterministicCharging) slotRates(base energy.Rates, _ *stats.RNG) energy.Rates {
+	return base
+}
+
+// RandomCharging is the Section-V model: events arrive at an active
+// sensor as a Poisson process with rate EventRate per slot, each event
+// keeps the sensor busy for an exponential duration with mean
+// EventDuration slots, and the battery drains only while busy. The
+// recharge time is normally distributed around the period's nominal
+// value.
+type RandomCharging struct {
+	// Period gives the nominal (mean) charging pattern.
+	Period energy.Period
+	// EventRate is λa, mean event arrivals per slot (must be > 0).
+	EventRate float64
+	// EventDuration is λd, mean event duration in slots (must be > 0).
+	EventDuration float64
+	// RechargeStdFrac is the standard deviation of the recharge time as
+	// a fraction of its mean (default 0.1).
+	RechargeStdFrac float64
+}
+
+var _ ChargingModel = RandomCharging{}
+
+// Validate reports whether the model parameters are usable.
+func (r RandomCharging) Validate() error {
+	if err := r.Period.Validate(); err != nil {
+		return err
+	}
+	if !(r.EventRate > 0) {
+		return fmt.Errorf("sim: non-positive event rate %v", r.EventRate)
+	}
+	if !(r.EventDuration > 0) {
+		return fmt.Errorf("sim: non-positive event duration %v", r.EventDuration)
+	}
+	if r.RechargeStdFrac < 0 {
+		return fmt.Errorf("sim: negative recharge std fraction %v", r.RechargeStdFrac)
+	}
+	return nil
+}
+
+func (r RandomCharging) newBattery(int) (*energy.Battery, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return energy.NewBattery(1, DeterministicCharging{Period: r.Period}.rates())
+}
+
+func (r RandomCharging) slotRates(base energy.Rates, rng *stats.RNG) energy.Rates {
+	// Busy fraction of the slot: arrivals ~ Poisson(λa), each busy for
+	// Exp(λd) slots, truncated at the slot boundary.
+	busy := 0.0
+	for i, k := 0, rng.Poisson(r.EventRate); i < k; i++ {
+		busy += rng.Exponential(r.EventDuration)
+	}
+	if busy > 1 {
+		busy = 1
+	}
+	// Keep the discharge strictly positive so the rates stay valid; a
+	// slot with no events drains (essentially) nothing.
+	const minBusy = 1e-6
+	if busy < minBusy {
+		busy = minBusy
+	}
+	stdFrac := r.RechargeStdFrac
+	if stdFrac == 0 {
+		stdFrac = 0.1
+	}
+	recharge := base.Recharge / clampPositive(rng.Normal(1, stdFrac))
+	return energy.Rates{
+		Discharge: base.Discharge * busy,
+		Recharge:  recharge,
+	}
+}
+
+func clampPositive(x float64) float64 {
+	const floor = 0.05
+	if x < floor {
+		return floor
+	}
+	return x
+}
+
+// Fault injects a permanent node failure at a slot.
+type Fault struct {
+	// Sensor is the failing node.
+	Sensor int
+	// AtSlot is the first slot at which the node is dead.
+	AtSlot int
+}
+
+// WeatherShift changes every battery's recharge rate from a slot
+// onward, modelling the weather-dependent pattern switch the paper
+// performs between days.
+type WeatherShift struct {
+	// AtSlot is the first slot with the new pattern.
+	AtSlot int
+	// NewPeriod is the charging period from AtSlot on.
+	NewPeriod energy.Period
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// NumSensors is the network size.
+	NumSensors int
+	// Slots is the working time ℒ in slots.
+	Slots int
+	// Policy picks activations each slot.
+	Policy Policy
+	// Charging is the charging model (deterministic by default if nil
+	// and Period set via DeterministicCharging).
+	Charging ChargingModel
+	// Factory builds the per-slot utility oracle for accounting.
+	Factory core.OracleFactory
+	// Targets divides the per-slot utility in the averaged metric
+	// (paper: average utility per target per slot); defaults to 1.
+	Targets int
+	// Faults lists permanent node failures to inject.
+	Faults []Fault
+	// Weather lists charging-pattern shifts to apply, in slot order.
+	Weather []WeatherShift
+	// Seed drives the stochastic charging model.
+	Seed uint64
+}
+
+// SlotRecord is the per-slot outcome of a run.
+type SlotRecord struct {
+	// Slot is the slot index.
+	Slot int
+	// Active, Ready, Passive count sensors by state during the slot.
+	Active, Ready, Passive int
+	// Utility is U(S(t)) for the slot's actually-active set.
+	Utility float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// PerSlot holds one record per simulated slot.
+	PerSlot []SlotRecord
+	// ActiveSets records the actually-activated sensors of each slot
+	// (aligned with PerSlot) for post-hoc analysis such as event-driven
+	// detection replay.
+	ActiveSets [][]int
+	// TotalUtility is Σ_t U(S(t)).
+	TotalUtility float64
+	// AverageUtility is TotalUtility / (slots · targets), the paper's
+	// evaluation metric.
+	AverageUtility float64
+	// ActivationsDenied counts requested activations the energy state
+	// vetoed (policy asked for a non-ready sensor).
+	ActivationsDenied int
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.NumSensors <= 0 {
+		return nil, fmt.Errorf("sim: non-positive sensor count %d", cfg.NumSensors)
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("sim: non-positive slot count %d", cfg.Slots)
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("sim: nil policy")
+	}
+	if cfg.Charging == nil {
+		return nil, errors.New("sim: nil charging model")
+	}
+	if cfg.Factory == nil {
+		return nil, errors.New("sim: nil oracle factory")
+	}
+	targets := cfg.Targets
+	if targets <= 0 {
+		targets = 1
+	}
+	for _, f := range cfg.Faults {
+		if f.Sensor < 0 || f.Sensor >= cfg.NumSensors {
+			return nil, fmt.Errorf("sim: fault names sensor %d outside [0,%d)", f.Sensor, cfg.NumSensors)
+		}
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	batteries := make([]*energy.Battery, cfg.NumSensors)
+	baseRates := make([]energy.Rates, cfg.NumSensors)
+	for i := range batteries {
+		b, err := cfg.Charging.newBattery(i)
+		if err != nil {
+			return nil, err
+		}
+		batteries[i] = b
+		baseRates[i] = b.Rates()
+	}
+	dead := make([]bool, cfg.NumSensors)
+	deadAt := make(map[int][]int)
+	for _, f := range cfg.Faults {
+		deadAt[f.AtSlot] = append(deadAt[f.AtSlot], f.Sensor)
+	}
+	if _, hetero := cfg.Charging.(HeterogeneousCharging); hetero && len(cfg.Weather) > 0 {
+		return nil, errors.New(
+			"sim: WeatherShift assumes a fleet-wide pattern and cannot be combined with HeterogeneousCharging")
+	}
+	shiftAt := make(map[int]energy.Period)
+	for _, w := range cfg.Weather {
+		if err := w.NewPeriod.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: weather shift at slot %d: %w", w.AtSlot, err)
+		}
+		shiftAt[w.AtSlot] = w.NewPeriod
+	}
+
+	res := &Result{PerSlot: make([]SlotRecord, 0, cfg.Slots)}
+	for t := 0; t < cfg.Slots; t++ {
+		for _, s := range deadAt[t] {
+			dead[s] = true
+		}
+		if p, ok := shiftAt[t]; ok {
+			shifted := DeterministicCharging{Period: p}.rates()
+			for v, b := range batteries {
+				baseRates[v] = shifted
+				if err := b.SetRates(shifted); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		ready := make([]int, 0, cfg.NumSensors)
+		for v, b := range batteries {
+			if !dead[v] && b.CanSustainActive() {
+				ready = append(ready, v)
+			}
+		}
+		want := cfg.Policy.Activate(t, ready)
+		wanted := make([]bool, cfg.NumSensors)
+		for _, v := range want {
+			if v < 0 || v >= cfg.NumSensors {
+				return nil, fmt.Errorf("sim: policy activated sensor %d outside [0,%d)", v, cfg.NumSensors)
+			}
+			wanted[v] = true
+		}
+
+		// Drive every sensor's state for this slot: activate the wanted
+		// ones that can sustain a slot, rest everything else (resting a
+		// full battery is a no-op by the next tick).
+		oracle := cfg.Factory()
+		rec := SlotRecord{Slot: t}
+		var activated []int
+		for v, b := range batteries {
+			if dead[v] {
+				if wanted[v] {
+					res.ActivationsDenied++
+				}
+				continue
+			}
+			if wanted[v] {
+				if err := b.ForceActivate(); err != nil {
+					res.ActivationsDenied++
+					b.Rest()
+					continue
+				}
+				oracle.Add(v)
+				activated = append(activated, v)
+				rec.Active++
+			} else {
+				b.Rest()
+			}
+		}
+		rec.Utility = oracle.Value()
+		res.ActiveSets = append(res.ActiveSets, activated)
+
+		// Advance energy by one slot. Stochastic models resample each
+		// sensor's effective rates.
+		for v, b := range batteries {
+			if dead[v] {
+				continue
+			}
+			if err := b.SetRates(cfg.Charging.slotRates(baseRates[v], rng)); err != nil {
+				return nil, fmt.Errorf("sim: slot %d sensor %d: %w", t, v, err)
+			}
+			switch b.Tick() {
+			case energy.StateReady:
+				rec.Ready++
+			case energy.StatePassive:
+				rec.Passive++
+			}
+		}
+		res.PerSlot = append(res.PerSlot, rec)
+		res.TotalUtility += rec.Utility
+	}
+	res.AverageUtility = res.TotalUtility / float64(cfg.Slots) / float64(targets)
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package solar
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cool/internal/energy"
+)
+
+// Sample is one measurement row of a simulated mote trace, matching
+// what the paper's testbed logged for Figure 7: timestamp, light
+// strength, and battery charging voltage.
+type Sample struct {
+	// At is the time since trace start.
+	At time.Duration
+	// Hour is the local time-of-day in hours (may exceed 24 on
+	// multi-day traces; Hour mod 24 is the wall-clock hour).
+	Hour float64
+	// Lux is the measured light strength.
+	Lux float64
+	// Voltage is the battery terminal voltage.
+	Voltage float64
+	// State is the mote's energy state at the sample instant.
+	State energy.State
+}
+
+// MoteConfig describes the simulated TelosB-class mote.
+type MoteConfig struct {
+	// CapacityMAh is the usable energy buffer (default 5 mAh — the
+	// super-capacitor-backed buffer of the testbed motes, sized so that
+	// a full drain takes the measured Td = 15 min).
+	CapacityMAh float64
+	// ActiveDrawMA is the active-mode current (default 20 mA,
+	// radio-on TelosB).
+	ActiveDrawMA float64
+	// ChargeEfficiency scales panel current into net charging current
+	// (default 0.225).
+	ChargeEfficiency float64
+	// StandbyDrawMA is subtracted from the charging current (default
+	// 0.5 mA).
+	StandbyDrawMA float64
+	// FullVoltage and EmptyVoltage bound the linear voltage model
+	// (defaults 3.0 and 2.1 V, matching energy.DefaultEstimatorConfig).
+	FullVoltage, EmptyVoltage float64
+	// NoiseVolts is the sampling noise sigma (default 5 mV).
+	NoiseVolts float64
+}
+
+func (c *MoteConfig) defaults() error {
+	if c.CapacityMAh == 0 {
+		c.CapacityMAh = 5
+	}
+	if c.ActiveDrawMA == 0 {
+		c.ActiveDrawMA = 20
+	}
+	if c.ChargeEfficiency == 0 {
+		c.ChargeEfficiency = 0.225
+	}
+	if c.StandbyDrawMA == 0 {
+		c.StandbyDrawMA = 0.5
+	}
+	if c.FullVoltage == 0 {
+		c.FullVoltage = 3.0
+	}
+	if c.EmptyVoltage == 0 {
+		c.EmptyVoltage = 2.1
+	}
+	if c.NoiseVolts == 0 {
+		c.NoiseVolts = 0.005
+	}
+	switch {
+	case c.CapacityMAh < 0, c.ActiveDrawMA <= 0, c.ChargeEfficiency <= 0,
+		c.StandbyDrawMA < 0, c.NoiseVolts < 0:
+		return fmt.Errorf("solar: invalid mote config %+v", *c)
+	case c.FullVoltage <= c.EmptyVoltage:
+		return fmt.Errorf("solar: full voltage %v not above empty %v",
+			c.FullVoltage, c.EmptyVoltage)
+	}
+	return nil
+}
+
+// Mote simulates one duty-cycling solar mote: it runs active until the
+// buffer drains, recharges passively while the panels deliver enough
+// current, and re-activates when full — the continuous cycling the
+// testbed used to measure charging patterns.
+type Mote struct {
+	cfg   MoteConfig
+	day   *Day
+	soc   float64 // state of charge, mAh
+	state energy.State
+}
+
+// NewMote builds a fully charged mote attached to a simulated day.
+func NewMote(cfg MoteConfig, day *Day) (*Mote, error) {
+	if day == nil {
+		return nil, errors.New("solar: nil day")
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Mote{cfg: cfg, day: day, soc: cfg.CapacityMAh, state: energy.StateActive}, nil
+}
+
+// WithDay returns a mote that keeps this mote's battery state but
+// harvests under a new simulated day — used to run one physical mote
+// through a multi-day campaign with changing weather.
+func (m *Mote) WithDay(day *Day) *Mote {
+	if day == nil {
+		return m
+	}
+	return &Mote{cfg: m.cfg, day: day, soc: m.soc, state: m.state}
+}
+
+// voltage maps state of charge to terminal voltage with sampling noise.
+func (m *Mote) voltage() float64 {
+	frac := m.soc / m.cfg.CapacityMAh
+	v := m.cfg.EmptyVoltage + frac*(m.cfg.FullVoltage-m.cfg.EmptyVoltage)
+	return v + m.day.rng.Normal(0, m.cfg.NoiseVolts)
+}
+
+// step advances the mote by dt hours at the given local hour.
+func (m *Mote) step(hour, dtHours float64) {
+	switch m.state {
+	case energy.StateActive:
+		m.soc -= m.cfg.ActiveDrawMA * dtHours
+		if m.soc <= 0 {
+			m.soc = 0
+			m.state = energy.StatePassive
+		}
+	case energy.StatePassive:
+		net := m.cfg.ChargeEfficiency*m.day.PanelCurrent(m.day.Lux(hour)) - m.cfg.StandbyDrawMA
+		if net > 0 {
+			m.soc += net * dtHours
+		}
+		if m.soc >= m.cfg.CapacityMAh {
+			m.soc = m.cfg.CapacityMAh
+			// Continuous duty cycling: a full mote immediately goes
+			// active again so the trace exhibits the sawtooth the
+			// pattern estimator consumes.
+			m.state = energy.StateActive
+		}
+	}
+}
+
+// Trace simulates the mote from startHour for the given duration,
+// sampling every interval. It reproduces the paper's measurement runs
+// (e.g. 21:55 one evening to 19:55 the next).
+func (m *Mote) Trace(startHour float64, total, interval time.Duration) ([]Sample, error) {
+	if total <= 0 || interval <= 0 {
+		return nil, fmt.Errorf("solar: non-positive trace duration %v / interval %v", total, interval)
+	}
+	if interval > total {
+		return nil, fmt.Errorf("solar: interval %v exceeds duration %v", interval, total)
+	}
+	steps := int(total/interval) + 1
+	out := make([]Sample, 0, steps)
+	dtHours := interval.Hours()
+	for i := 0; i < steps; i++ {
+		at := time.Duration(i) * interval
+		hour := startHour + at.Hours()
+		wall := hourOfDay(hour)
+		out = append(out, Sample{
+			At:      at,
+			Hour:    hour,
+			Lux:     m.day.Lux(wall),
+			Voltage: m.voltage(),
+			State:   m.state,
+		})
+		m.step(wall, dtHours)
+	}
+	return out, nil
+}
+
+func hourOfDay(h float64) float64 {
+	w := h - 24*float64(int(h/24))
+	if w < 0 {
+		w += 24
+	}
+	return w
+}
+
+// VoltageSamples converts a trace into the estimator's input format.
+func VoltageSamples(trace []Sample) []energy.VoltageSample {
+	out := make([]energy.VoltageSample, len(trace))
+	for i, s := range trace {
+		out[i] = energy.VoltageSample{At: s.At, Voltage: s.Voltage}
+	}
+	return out
+}

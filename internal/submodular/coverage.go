@@ -1,0 +1,226 @@
+package submodular
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoverageItem is one element of a weighted-coverage ground truth — in
+// the paper's region-monitoring model (Equation 2) an item is a
+// subregion A_i with value w_i·|A_i|; in plain target-count coverage an
+// item is a target with weight 1.
+type CoverageItem struct {
+	// Value is the utility contributed when the item is covered by at
+	// least one active sensor (w_i·|A_i| in the paper).
+	Value float64
+	// CoveredBy lists the sensors whose footprint contains the item.
+	CoveredBy []int
+}
+
+// CoverageUtility is the weighted coverage function
+// U(S) = Σ_i I_i(S)·value_i where I_i(S)=1 iff some sensor of S covers
+// item i. It is normalized, monotone and submodular.
+type CoverageUtility struct {
+	n        int
+	values   []float64
+	bySensor [][]int // sensor -> item indices it covers
+	byItem   [][]int
+}
+
+var _ Function = (*CoverageUtility)(nil)
+
+// NewCoverageUtility builds the utility over a ground set of n sensors.
+// Item values must be positive and sensor references in range;
+// duplicate sensor references within one item are rejected.
+func NewCoverageUtility(n int, items []CoverageItem) (*CoverageUtility, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("submodular: negative ground size %d", n)
+	}
+	u := &CoverageUtility{
+		n:        n,
+		values:   make([]float64, len(items)),
+		bySensor: make([][]int, n),
+		byItem:   make([][]int, len(items)),
+	}
+	for i, item := range items {
+		if !(item.Value > 0) || math.IsInf(item.Value, 0) {
+			return nil, fmt.Errorf("submodular: item %d has invalid value %v", i, item.Value)
+		}
+		u.values[i] = item.Value
+		seen := make(map[int]bool, len(item.CoveredBy))
+		for _, v := range item.CoveredBy {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf(
+					"submodular: item %d references sensor %d outside [0,%d)", i, v, n)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("submodular: item %d lists sensor %d twice", i, v)
+			}
+			seen[v] = true
+			u.bySensor[v] = append(u.bySensor[v], i)
+			u.byItem[i] = append(u.byItem[i], v)
+		}
+	}
+	return u, nil
+}
+
+// GroundSize implements Function.
+func (u *CoverageUtility) GroundSize() int { return u.n }
+
+// NumItems returns the number of coverage items.
+func (u *CoverageUtility) NumItems() int { return len(u.values) }
+
+// TotalValue returns the value of covering every item — the maximum of
+// the function.
+func (u *CoverageUtility) TotalValue() float64 {
+	var sum float64
+	for i, v := range u.values {
+		if len(u.byItem[i]) > 0 {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Items returns a copy of the coverage items, exposing the linear
+// structure the LP relaxation of the scheduling problem needs.
+func (u *CoverageUtility) Items() []CoverageItem {
+	items := make([]CoverageItem, len(u.values))
+	for i := range items {
+		items[i] = CoverageItem{
+			Value:     u.values[i],
+			CoveredBy: append([]int(nil), u.byItem[i]...),
+		}
+	}
+	return items
+}
+
+// Eval implements Function.
+func (u *CoverageUtility) Eval(set []int) float64 {
+	covered := make([]bool, len(u.values))
+	seen := make(map[int]bool, len(set))
+	var total float64
+	for _, v := range set {
+		checkElem(v, u.n)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		for _, item := range u.bySensor[v] {
+			if !covered[item] {
+				covered[item] = true
+				total += u.values[item]
+			}
+		}
+	}
+	return total
+}
+
+// Oracle returns an incremental oracle for the empty set.
+func (u *CoverageUtility) Oracle() *CoverageOracle {
+	return &CoverageOracle{
+		u:      u,
+		in:     make([]bool, u.n),
+		counts: make([]int, len(u.values)),
+	}
+}
+
+// FullOracle returns an oracle whose current set is the whole ground
+// set, the starting point of the ρ ≤ 1 removal greedy.
+func (u *CoverageUtility) FullOracle() *CoverageOracle {
+	o := u.Oracle()
+	for v := 0; v < u.n; v++ {
+		o.Add(v)
+	}
+	return o
+}
+
+// CoverageOracle tracks the number of active sensors covering each item,
+// giving O(deg) gains and losses.
+type CoverageOracle struct {
+	u      *CoverageUtility
+	in     []bool
+	counts []int
+	value  float64
+}
+
+var _ RemovalOracle = (*CoverageOracle)(nil)
+
+// Value implements Oracle.
+func (o *CoverageOracle) Value() float64 { return o.value }
+
+// Contains implements Oracle.
+func (o *CoverageOracle) Contains(v int) bool {
+	checkElem(v, o.u.n)
+	return o.in[v]
+}
+
+// Gain implements Oracle.
+func (o *CoverageOracle) Gain(v int) float64 {
+	checkElem(v, o.u.n)
+	if o.in[v] {
+		return 0
+	}
+	var delta float64
+	for _, item := range o.u.bySensor[v] {
+		if o.counts[item] == 0 {
+			delta += o.u.values[item]
+		}
+	}
+	return delta
+}
+
+// Add implements Oracle.
+func (o *CoverageOracle) Add(v int) {
+	checkElem(v, o.u.n)
+	if o.in[v] {
+		return
+	}
+	o.in[v] = true
+	for _, item := range o.u.bySensor[v] {
+		if o.counts[item] == 0 {
+			o.value += o.u.values[item]
+		}
+		o.counts[item]++
+	}
+}
+
+// Loss implements RemovalOracle.
+func (o *CoverageOracle) Loss(v int) float64 {
+	checkElem(v, o.u.n)
+	if !o.in[v] {
+		return 0
+	}
+	var delta float64
+	for _, item := range o.u.bySensor[v] {
+		if o.counts[item] == 1 {
+			delta += o.u.values[item]
+		}
+	}
+	return delta
+}
+
+// Remove implements RemovalOracle.
+func (o *CoverageOracle) Remove(v int) {
+	checkElem(v, o.u.n)
+	if !o.in[v] {
+		return
+	}
+	o.in[v] = false
+	for _, item := range o.u.bySensor[v] {
+		o.counts[item]--
+		if o.counts[item] == 0 {
+			o.value -= o.u.values[item]
+		}
+	}
+}
+
+// Clone implements Oracle.
+func (o *CoverageOracle) Clone() Oracle {
+	return &CoverageOracle{
+		u:      o.u,
+		in:     append([]bool(nil), o.in...),
+		counts: append([]int(nil), o.counts...),
+		value:  o.value,
+	}
+}

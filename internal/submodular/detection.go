@@ -1,0 +1,272 @@
+package submodular
+
+import (
+	"fmt"
+	"math"
+)
+
+// DetectionTarget describes one monitored target O_i for the
+// probabilistic-detection utility U_i(S) = w · (1 − Π_{v∈S}(1−p_v)):
+// the probability that at least one activated covering sensor detects
+// an event at the target (Section II-C of the paper).
+type DetectionTarget struct {
+	// Weight scales the target's utility (w_i > 0); use 1 for the
+	// paper's unweighted sum.
+	Weight float64
+	// Probs maps a covering sensor's index to its detection probability
+	// p ∈ [0, 1]. Sensors absent from the map do not cover the target.
+	Probs map[int]float64
+}
+
+// DetectionUtility is the multi-target probabilistic detection utility
+// U(S) = Σ_i U_i(S ∩ V(O_i)). It is normalized, monotone and submodular
+// for any probabilities in [0, 1].
+type DetectionUtility struct {
+	n       int
+	weights []float64
+	// survives[t] maps sensor -> (1-p) for targets' covering sensors.
+	bySensor [][]targetProb
+	byTarget []map[int]float64
+}
+
+type targetProb struct {
+	target int
+	q      float64 // 1 - p
+}
+
+var _ Function = (*DetectionUtility)(nil)
+
+// NewDetectionUtility builds the utility over a ground set of n
+// sensors. It validates that every referenced sensor index is in range,
+// every probability is in [0, 1], and every weight is positive.
+func NewDetectionUtility(n int, targets []DetectionTarget) (*DetectionUtility, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("submodular: negative ground size %d", n)
+	}
+	u := &DetectionUtility{
+		n:        n,
+		weights:  make([]float64, len(targets)),
+		bySensor: make([][]targetProb, n),
+		byTarget: make([]map[int]float64, len(targets)),
+	}
+	for i, tgt := range targets {
+		if !(tgt.Weight > 0) || math.IsInf(tgt.Weight, 0) {
+			return nil, fmt.Errorf("submodular: target %d has invalid weight %v", i, tgt.Weight)
+		}
+		u.weights[i] = tgt.Weight
+		u.byTarget[i] = make(map[int]float64, len(tgt.Probs))
+		for v, p := range tgt.Probs {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf(
+					"submodular: target %d references sensor %d outside [0,%d)", i, v, n)
+			}
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return nil, fmt.Errorf(
+					"submodular: target %d sensor %d has probability %v outside [0,1]", i, v, p)
+			}
+			u.byTarget[i][v] = p
+			u.bySensor[v] = append(u.bySensor[v], targetProb{target: i, q: 1 - p})
+		}
+	}
+	return u, nil
+}
+
+// GroundSize implements Function.
+func (u *DetectionUtility) GroundSize() int { return u.n }
+
+// NumTargets returns the number of targets m.
+func (u *DetectionUtility) NumTargets() int { return len(u.weights) }
+
+// TotalWeight returns Σ_i w_i, the utility of detecting everything with
+// certainty — the natural upper bound of the function.
+func (u *DetectionUtility) TotalWeight() float64 {
+	var sum float64
+	for _, w := range u.weights {
+		sum += w
+	}
+	return sum
+}
+
+// Eval implements Function.
+func (u *DetectionUtility) Eval(set []int) float64 {
+	seen := make(map[int]bool, len(set))
+	surv := make([]float64, len(u.weights))
+	for i := range surv {
+		surv[i] = 1
+	}
+	for _, v := range set {
+		checkElem(v, u.n)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		for _, tp := range u.bySensor[v] {
+			surv[tp.target] *= tp.q
+		}
+	}
+	var total float64
+	for i, s := range surv {
+		total += u.weights[i] * (1 - s)
+	}
+	return total
+}
+
+// TargetValue returns U_i(S) for a single target index, useful for
+// reporting per-target quality.
+func (u *DetectionUtility) TargetValue(target int, set []int) float64 {
+	if target < 0 || target >= len(u.weights) {
+		panic(fmt.Sprintf("submodular: target %d out of range", target))
+	}
+	surv := 1.0
+	seen := make(map[int]bool, len(set))
+	for _, v := range set {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if p, ok := u.byTarget[target][v]; ok {
+			surv *= 1 - p
+		}
+	}
+	return u.weights[target] * (1 - surv)
+}
+
+// Oracle returns an incremental oracle for the empty set. Gain and Loss
+// queries cost O(deg(v)) where deg(v) is the number of targets sensor v
+// covers.
+func (u *DetectionUtility) Oracle() *DetectionOracle {
+	o := &DetectionOracle{
+		u:     u,
+		in:    make([]bool, u.n),
+		surv:  make([]float64, len(u.weights)),
+		zeros: make([]int, len(u.weights)),
+	}
+	for i := range o.surv {
+		o.surv[i] = 1
+	}
+	return o
+}
+
+// DetectionOracle incrementally tracks, per target, the survival
+// probability Π(1−p) of the current set. Sensors with p = 1 are counted
+// separately (zeros) so that Remove can undo them without dividing by
+// zero.
+type DetectionOracle struct {
+	u     *DetectionUtility
+	in    []bool
+	surv  []float64 // product of q over members with q > 0
+	zeros []int     // count of members with q == 0 (p == 1)
+	value float64
+}
+
+var _ RemovalOracle = (*DetectionOracle)(nil)
+
+// effSurv returns the effective survival probability of target t.
+func (o *DetectionOracle) effSurv(t int) float64 {
+	if o.zeros[t] > 0 {
+		return 0
+	}
+	return o.surv[t]
+}
+
+// Value implements Oracle.
+func (o *DetectionOracle) Value() float64 { return o.value }
+
+// Contains implements Oracle.
+func (o *DetectionOracle) Contains(v int) bool {
+	checkElem(v, o.u.n)
+	return o.in[v]
+}
+
+// Gain implements Oracle.
+func (o *DetectionOracle) Gain(v int) float64 {
+	checkElem(v, o.u.n)
+	if o.in[v] {
+		return 0
+	}
+	var delta float64
+	for _, tp := range o.u.bySensor[v] {
+		s := o.effSurv(tp.target)
+		delta += o.u.weights[tp.target] * (s - s*tp.q)
+	}
+	return delta
+}
+
+// Add implements Oracle.
+func (o *DetectionOracle) Add(v int) {
+	checkElem(v, o.u.n)
+	if o.in[v] {
+		return
+	}
+	o.in[v] = true
+	for _, tp := range o.u.bySensor[v] {
+		t := tp.target
+		s := o.effSurv(t)
+		if tp.q == 0 {
+			o.zeros[t]++
+		} else {
+			o.surv[t] *= tp.q
+		}
+		o.value += o.u.weights[t] * (s - o.effSurv(t))
+	}
+}
+
+// Loss implements RemovalOracle.
+func (o *DetectionOracle) Loss(v int) float64 {
+	checkElem(v, o.u.n)
+	if !o.in[v] {
+		return 0
+	}
+	var delta float64
+	for _, tp := range o.u.bySensor[v] {
+		t := tp.target
+		cur := o.effSurv(t)
+		var without float64
+		if tp.q == 0 {
+			if o.zeros[t] > 1 {
+				without = 0
+			} else {
+				without = o.surv[t]
+			}
+		} else {
+			if o.zeros[t] > 0 {
+				without = 0
+			} else {
+				without = o.surv[t] / tp.q
+			}
+		}
+		delta += o.u.weights[t] * (without - cur)
+	}
+	return delta
+}
+
+// Remove implements RemovalOracle.
+func (o *DetectionOracle) Remove(v int) {
+	checkElem(v, o.u.n)
+	if !o.in[v] {
+		return
+	}
+	o.in[v] = false
+	for _, tp := range o.u.bySensor[v] {
+		t := tp.target
+		before := o.effSurv(t)
+		if tp.q == 0 {
+			o.zeros[t]--
+		} else {
+			o.surv[t] /= tp.q
+		}
+		o.value -= o.u.weights[t] * (o.effSurv(t) - before)
+	}
+}
+
+// Clone implements Oracle.
+func (o *DetectionOracle) Clone() Oracle {
+	c := &DetectionOracle{
+		u:     o.u,
+		in:    append([]bool(nil), o.in...),
+		surv:  append([]float64(nil), o.surv...),
+		zeros: append([]int(nil), o.zeros...),
+		value: o.value,
+	}
+	return c
+}

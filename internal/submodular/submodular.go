@@ -1,0 +1,225 @@
+// Package submodular defines the set-function abstractions of the
+// paper's utility model (Section II-C) and efficient incremental
+// oracles for them.
+//
+// A utility U over a ground set of sensors {0, …, n−1} must be
+// normalized (U(∅)=0), non-decreasing, and submodular ("diminishing
+// returns"). The greedy hill-climbing scheduler interrogates utilities
+// through the Oracle interface, which supports O(coverage-degree)
+// marginal-gain queries instead of re-evaluating U from scratch.
+package submodular
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Function is a set function over the ground set {0, …, GroundSize()−1}.
+// Eval must treat its argument as a set: order is irrelevant and
+// duplicates, if present, must not change the value.
+type Function interface {
+	// GroundSize returns the number of elements in the ground set.
+	GroundSize() int
+	// Eval returns the value of the function on the given set.
+	Eval(set []int) float64
+}
+
+// Oracle is an incremental evaluator of a submodular function for one
+// growing set. A fresh oracle represents the empty set.
+type Oracle interface {
+	// Value returns U(S) for the current set S.
+	Value() float64
+	// Gain returns U(S ∪ {v}) − U(S) without modifying S.
+	Gain(v int) float64
+	// Add inserts v into S, updating internal state. Adding an element
+	// already in S must be a no-op.
+	Add(v int)
+	// Contains reports whether v is already in S.
+	Contains(v int) bool
+	// Clone returns an independent copy of the oracle with the same
+	// current set.
+	Clone() Oracle
+}
+
+// RemovalOracle extends Oracle with deletion support, used by the
+// ρ ≤ 1 passive-slot greedy (Section IV-B), which starts from the full
+// set and removes elements.
+type RemovalOracle interface {
+	Oracle
+	// Loss returns U(S) − U(S ∖ {v}) without modifying S.
+	Loss(v int) float64
+	// Remove deletes v from S. Removing an element not in S must be a
+	// no-op.
+	Remove(v int)
+}
+
+// EvalOracle builds an oracle for an arbitrary Function by re-evaluating
+// it on every query. It is the correctness yardstick the specialized
+// oracles are tested against, and the fallback for user-supplied
+// functions without an incremental form.
+type EvalOracle struct {
+	fn  Function
+	set map[int]bool
+	cur float64
+}
+
+var _ RemovalOracle = (*EvalOracle)(nil)
+
+// NewEvalOracle returns an oracle over fn representing the empty set.
+func NewEvalOracle(fn Function) *EvalOracle {
+	return &EvalOracle{fn: fn, set: make(map[int]bool)}
+}
+
+func (o *EvalOracle) members() []int {
+	s := make([]int, 0, len(o.set))
+	for v := range o.set {
+		s = append(s, v)
+	}
+	sort.Ints(s)
+	return s
+}
+
+// Value implements Oracle.
+func (o *EvalOracle) Value() float64 { return o.cur }
+
+// Contains implements Oracle.
+func (o *EvalOracle) Contains(v int) bool { return o.set[v] }
+
+// Gain implements Oracle.
+func (o *EvalOracle) Gain(v int) float64 {
+	if o.set[v] {
+		return 0
+	}
+	s := append(o.members(), v)
+	return o.fn.Eval(s) - o.cur
+}
+
+// Add implements Oracle.
+func (o *EvalOracle) Add(v int) {
+	if o.set[v] {
+		return
+	}
+	o.set[v] = true
+	o.cur = o.fn.Eval(o.members())
+}
+
+// Loss implements RemovalOracle.
+func (o *EvalOracle) Loss(v int) float64 {
+	if !o.set[v] {
+		return 0
+	}
+	s := o.members()
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return o.cur - o.fn.Eval(out)
+}
+
+// Remove implements RemovalOracle.
+func (o *EvalOracle) Remove(v int) {
+	if !o.set[v] {
+		return
+	}
+	delete(o.set, v)
+	o.cur = o.fn.Eval(o.members())
+}
+
+// Clone implements Oracle.
+func (o *EvalOracle) Clone() Oracle {
+	c := &EvalOracle{fn: o.fn, set: make(map[int]bool, len(o.set)), cur: o.cur}
+	for v := range o.set {
+		c.set[v] = true
+	}
+	return c
+}
+
+// checkElem panics with a descriptive message when v is outside the
+// ground set; index bugs in callers should fail loudly rather than
+// corrupt utility accounting.
+func checkElem(v, n int) {
+	if v < 0 || v >= n {
+		panic(fmt.Sprintf("submodular: element %d outside ground set [0,%d)", v, n))
+	}
+}
+
+// IsMonotone exhaustively verifies that fn is non-decreasing on every
+// pair (S, S∪{v}) of subsets of a ground set of at most maxGround
+// elements. It returns an error describing the first violation found.
+// Intended for tests and validation of user-supplied functions.
+func IsMonotone(fn Function, tol float64) error {
+	n := fn.GroundSize()
+	if n > 16 {
+		return fmt.Errorf("submodular: ground set %d too large for exhaustive check", n)
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		base := maskSet(mask, n)
+		fBase := fn.Eval(base)
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				continue
+			}
+			if fn.Eval(append(base, v))-fBase < -tol {
+				return fmt.Errorf(
+					"submodular: monotonicity violated at S=%v v=%d", base, v)
+			}
+		}
+	}
+	return nil
+}
+
+// IsSubmodular exhaustively verifies the diminishing-returns property
+// U(S∪{v})−U(S) ≥ U(Y∪{v})−U(Y) for all S ⊆ Y and v ∉ Y over a small
+// ground set. It returns an error describing the first violation.
+func IsSubmodular(fn Function, tol float64) error {
+	n := fn.GroundSize()
+	if n > 12 {
+		return fmt.Errorf("submodular: ground set %d too large for exhaustive check", n)
+	}
+	vals := make([]float64, 1<<n)
+	for mask := range vals {
+		vals[mask] = fn.Eval(maskSet(mask, n))
+	}
+	for small := 0; small < 1<<n; small++ {
+		for big := small; big < 1<<n; big++ {
+			if big&small != small { // small not a subset of big
+				continue
+			}
+			for v := 0; v < n; v++ {
+				bit := 1 << v
+				if big&bit != 0 {
+					continue
+				}
+				gainSmall := vals[small|bit] - vals[small]
+				gainBig := vals[big|bit] - vals[big]
+				if gainSmall < gainBig-tol {
+					return fmt.Errorf(
+						"submodular: diminishing returns violated at S=%v Y=%v v=%d (%v < %v)",
+						maskSet(small, n), maskSet(big, n), v, gainSmall, gainBig)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsNormalized verifies U(∅)=0 within tolerance.
+func IsNormalized(fn Function, tol float64) error {
+	if v := fn.Eval(nil); math.Abs(v) > tol {
+		return fmt.Errorf("submodular: U(∅) = %v, want 0", v)
+	}
+	return nil
+}
+
+func maskSet(mask, n int) []int {
+	s := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if mask&(1<<v) != 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}

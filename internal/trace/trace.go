@@ -1,0 +1,234 @@
+// Package trace defines the measurement-trace records produced by the
+// (simulated) testbed, CSV serialization for them, and the glue that
+// turns multi-day solar simulations into per-node traces and estimated
+// charging patterns.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"cool/internal/energy"
+	"cool/internal/solar"
+	"cool/internal/stats"
+)
+
+// Record is one logged measurement of one node.
+type Record struct {
+	// Node is the reporting node's ID.
+	Node int
+	// At is the time since the start of the measurement campaign.
+	At time.Duration
+	// Lux is the measured light strength.
+	Lux float64
+	// Voltage is the battery terminal voltage.
+	Voltage float64
+	// State is the node's energy state (active/passive/ready).
+	State energy.State
+}
+
+var csvHeader = []string{"node", "at_seconds", "lux", "voltage", "state"}
+
+// WriteCSV serializes records with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	row := make([]string, 5)
+	for i, r := range records {
+		row[0] = strconv.Itoa(r.Node)
+		row[1] = strconv.FormatFloat(r.At.Seconds(), 'f', 3, 64)
+		row[2] = strconv.FormatFloat(r.Lux, 'f', 1, 64)
+		row[3] = strconv.FormatFloat(r.Voltage, 'f', 4, 64)
+		row[4] = strconv.Itoa(int(r.State))
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records produced by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	node, err := strconv.Atoi(row[0])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad node: %w", err)
+	}
+	secs, err := strconv.ParseFloat(row[1], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad at_seconds: %w", err)
+	}
+	lux, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad lux: %w", err)
+	}
+	volt, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad voltage: %w", err)
+	}
+	st, err := strconv.Atoi(row[4])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad state: %w", err)
+	}
+	if st < int(energy.StateActive) || st > int(energy.StateReady) {
+		return Record{}, fmt.Errorf("state %d out of range", st)
+	}
+	return Record{
+		Node:    node,
+		At:      time.Duration(secs * float64(time.Second)),
+		Lux:     lux,
+		Voltage: volt,
+		State:   energy.State(st),
+	}, nil
+}
+
+// CampaignConfig describes a multi-day measurement campaign on the
+// simulated testbed.
+type CampaignConfig struct {
+	// Nodes is the number of motes to log.
+	Nodes int
+	// Days lists the weather of each simulated day, in order.
+	Days []solar.Weather
+	// PanelsByNode optionally assigns a panel count per node (default
+	// 1, with every third node carrying 2 — mirroring the paper's mixed
+	// SolarMote fleet).
+	PanelsByNode []int
+	// StartHour is the local hour the campaign starts (default 21.9,
+	// matching the paper's 21:55 start).
+	StartHour float64
+	// Interval is the sampling interval (default 5 minutes).
+	Interval time.Duration
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *CampaignConfig) defaults() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("trace: non-positive node count %d", c.Nodes)
+	}
+	if len(c.Days) == 0 {
+		return errors.New("trace: campaign needs at least one day")
+	}
+	if c.StartHour == 0 {
+		c.StartHour = 21.9
+	}
+	if c.Interval == 0 {
+		c.Interval = 5 * time.Minute
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("trace: negative interval %v", c.Interval)
+	}
+	if c.PanelsByNode != nil && len(c.PanelsByNode) != c.Nodes {
+		return fmt.Errorf("trace: PanelsByNode has %d entries for %d nodes",
+			len(c.PanelsByNode), c.Nodes)
+	}
+	return nil
+}
+
+// Campaign simulates the measurement campaign and returns all records
+// sorted by node then time.
+func Campaign(cfg CampaignConfig) ([]Record, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	var out []Record
+	for node := 0; node < cfg.Nodes; node++ {
+		panels := 1
+		if cfg.PanelsByNode != nil {
+			panels = cfg.PanelsByNode[node]
+		} else if node%3 == 2 {
+			panels = 2
+		}
+		nodeRng := rng.Split()
+		offset := time.Duration(0)
+		var mote *solar.Mote
+		for dayIdx, weather := range cfg.Days {
+			day, err := solar.NewDay(solar.DayConfig{Weather: weather, Panels: panels}, nodeRng)
+			if err != nil {
+				return nil, fmt.Errorf("trace: node %d day %d: %w", node, dayIdx, err)
+			}
+			// The mote persists across days; only the sky changes.
+			if mote == nil {
+				mote, err = solar.NewMote(solar.MoteConfig{}, day)
+				if err != nil {
+					return nil, fmt.Errorf("trace: node %d: %w", node, err)
+				}
+			} else {
+				mote = mote.WithDay(day)
+			}
+			start := cfg.StartHour + offset.Hours()
+			samples, err := mote.Trace(start, 24*time.Hour-cfg.Interval, cfg.Interval)
+			if err != nil {
+				return nil, fmt.Errorf("trace: node %d day %d: %w", node, dayIdx, err)
+			}
+			for _, s := range samples {
+				out = append(out, Record{
+					Node:    node,
+					At:      offset + s.At,
+					Lux:     s.Lux,
+					Voltage: s.Voltage,
+					State:   s.State,
+				})
+			}
+			offset += 24 * time.Hour
+		}
+	}
+	return out, nil
+}
+
+// NodeRecords filters a campaign down to one node's records.
+func NodeRecords(records []Record, node int) []Record {
+	var out []Record
+	for _, r := range records {
+		if r.Node == node {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// EstimatePatterns runs the charging-pattern estimator over one node's
+// records using the given window (the paper's ≈2 h horizon).
+func EstimatePatterns(records []Record, window time.Duration) ([]energy.Pattern, error) {
+	samples := make([]energy.VoltageSample, len(records))
+	for i, r := range records {
+		samples[i] = energy.VoltageSample{At: r.At, Voltage: r.Voltage}
+	}
+	return energy.EstimateWindows(samples, window, energy.DefaultEstimatorConfig())
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cool/internal/energy"
+	"cool/internal/solar"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Node: 0, At: 0, Lux: 100.5, Voltage: 2.95, State: energy.StateActive},
+		{Node: 0, At: 5 * time.Minute, Lux: 200, Voltage: 2.80, State: energy.StateActive},
+		{Node: 1, At: 0, Lux: 0, Voltage: 2.10, State: energy.StatePassive},
+		{Node: 1, At: 5 * time.Minute, Lux: 50, Voltage: 2.20, State: energy.StateReady},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := sampleRecords()
+	if err := WriteCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Node != want[i].Node || got[i].State != want[i].State {
+			t.Errorf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+		if got[i].At != want[i].At {
+			t.Errorf("record %d At: %v != %v", i, got[i].At, want[i].At)
+		}
+		if got[i].Voltage != want[i].Voltage {
+			t.Errorf("record %d Voltage: %v != %v", i, got[i].Voltage, want[i].Voltage)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header,row,here,x\n",
+		"node,at_seconds,lux,voltage,state\nnot-a-number,0,0,0,1\n",
+		"node,at_seconds,lux,voltage,state\n0,xx,0,0,1\n",
+		"node,at_seconds,lux,voltage,state\n0,0,xx,0,1\n",
+		"node,at_seconds,lux,voltage,state\n0,0,0,xx,1\n",
+		"node,at_seconds,lux,voltage,state\n0,0,0,0,xx\n",
+		"node,at_seconds,lux,voltage,state\n0,0,0,0,9\n",
+		"node,at_seconds,lux,voltage,state\n0,0,0\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("node,at_seconds,lux,voltage,state\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records from empty body", len(got))
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	bad := []CampaignConfig{
+		{Nodes: 0, Days: []solar.Weather{solar.WeatherSunny}},
+		{Nodes: 2, Days: nil},
+		{Nodes: 2, Days: []solar.Weather{solar.WeatherSunny}, Interval: -time.Second},
+		{Nodes: 2, Days: []solar.Weather{solar.WeatherSunny}, PanelsByNode: []int{1}},
+	}
+	for i, cfg := range bad {
+		if _, err := Campaign(cfg); err == nil {
+			t.Errorf("case %d: invalid campaign accepted", i)
+		}
+	}
+}
+
+func TestCampaignProducesMultiDayTraces(t *testing.T) {
+	records, err := Campaign(CampaignConfig{
+		Nodes:    2,
+		Days:     []solar.Weather{solar.WeatherSunny, solar.WeatherPartlyCloudy},
+		Interval: 10 * time.Minute,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDay := int(24 * time.Hour / (10 * time.Minute)) // samples per day per node
+	want := 2 * 2 * perDay
+	if len(records) != want {
+		t.Fatalf("records = %d, want %d", len(records), want)
+	}
+	n0 := NodeRecords(records, 0)
+	n1 := NodeRecords(records, 1)
+	if len(n0) != len(n1) || len(n0) != want/2 {
+		t.Fatalf("per-node counts wrong: %d / %d", len(n0), len(n1))
+	}
+	// Time advances monotonically within a node across days.
+	for i := 1; i < len(n0); i++ {
+		if n0[i].At <= n0[i-1].At {
+			t.Fatal("node trace not monotone in time")
+		}
+	}
+	if n0[len(n0)-1].At < 24*time.Hour {
+		t.Error("second day records missing")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := CampaignConfig{
+		Nodes:    1,
+		Days:     []solar.Weather{solar.WeatherSunny},
+		Interval: 15 * time.Minute,
+		Seed:     7,
+	}
+	a, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("campaign not deterministic")
+		}
+	}
+}
+
+// TestCampaignPatternEstimation is the end-to-end Figure-7 pipeline:
+// generate a sunny-day trace, estimate per-window patterns, and verify
+// the daytime windows land near the paper's ρ = 3.
+func TestCampaignPatternEstimation(t *testing.T) {
+	records, err := Campaign(CampaignConfig{
+		Nodes:    1,
+		Days:     []solar.Weather{solar.WeatherSunny},
+		Interval: time.Minute,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, err := EstimatePatterns(NodeRecords(records, 0), 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) == 0 {
+		t.Fatal("no daytime windows estimated")
+	}
+	// At least one midday window should show rho in [2, 5].
+	found := false
+	for _, p := range patterns {
+		r := p.Rho()
+		if r >= 2 && r <= 5 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		rhos := make([]float64, len(patterns))
+		for i, p := range patterns {
+			rhos[i] = p.Rho()
+		}
+		t.Errorf("no window with rho in [2,5]; rhos = %v", rhos)
+	}
+}
+
+func TestNodeRecordsEmpty(t *testing.T) {
+	if got := NodeRecords(sampleRecords(), 99); len(got) != 0 {
+		t.Errorf("NodeRecords(99) = %v", got)
+	}
+}

@@ -1,0 +1,198 @@
+package wsn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cool/internal/geometry"
+	"cool/internal/stats"
+)
+
+// DeployConfig describes a synthetic deployment to generate.
+type DeployConfig struct {
+	// Field is the deployment region Ω.
+	Field geometry.Rect
+	// Sensors is the number of sensors n.
+	Sensors int
+	// Targets is the number of targets m.
+	Targets int
+	// Range is the sensing radius given to every sensor.
+	Range float64
+	// TargetWeight is the weight assigned to every target; 1 when zero.
+	TargetWeight float64
+	// Layout selects the placement pattern for sensors.
+	Layout Layout
+	// Clusters is the number of cluster centers for LayoutClustered
+	// (default 5).
+	Clusters int
+	// ClusterStd is the spread of clustered placements (default 10% of
+	// the shorter field side).
+	ClusterStd float64
+}
+
+// Layout is a sensor placement pattern.
+type Layout int
+
+const (
+	// LayoutUniform scatters sensors uniformly at random over the
+	// field. This is the paper's Figure-9 style deployment.
+	LayoutUniform Layout = iota + 1
+	// LayoutGrid places sensors on the most-square grid that fits n.
+	LayoutGrid
+	// LayoutClustered samples sensors from Gaussian clusters, modelling
+	// deployments dropped in batches.
+	LayoutClustered
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutUniform:
+		return "uniform"
+	case LayoutGrid:
+		return "grid"
+	case LayoutClustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Deploy generates a random network per cfg, drawing all randomness
+// from rng. Targets are always scattered uniformly over the field.
+func Deploy(cfg DeployConfig, rng *stats.RNG) (*Network, error) {
+	if rng == nil {
+		return nil, errors.New("wsn: nil RNG")
+	}
+	if cfg.Sensors <= 0 {
+		return nil, fmt.Errorf("wsn: non-positive sensor count %d", cfg.Sensors)
+	}
+	if cfg.Targets < 0 {
+		return nil, fmt.Errorf("wsn: negative target count %d", cfg.Targets)
+	}
+	if !(cfg.Range > 0) {
+		return nil, fmt.Errorf("wsn: non-positive range %v", cfg.Range)
+	}
+	if cfg.Field.Width() <= 0 || cfg.Field.Height() <= 0 {
+		return nil, errors.New("wsn: degenerate field")
+	}
+	weight := cfg.TargetWeight
+	if weight == 0 {
+		weight = 1
+	}
+	if weight < 0 {
+		return nil, fmt.Errorf("wsn: negative target weight %v", weight)
+	}
+
+	var positions []geometry.Point
+	switch cfg.Layout {
+	case LayoutUniform, 0:
+		positions = uniformPoints(cfg.Field, cfg.Sensors, rng)
+	case LayoutGrid:
+		positions = gridPoints(cfg.Field, cfg.Sensors)
+	case LayoutClustered:
+		positions = clusteredPoints(cfg, rng)
+	default:
+		return nil, fmt.Errorf("wsn: unknown layout %v", cfg.Layout)
+	}
+
+	sensors := make([]Sensor, cfg.Sensors)
+	for i, p := range positions {
+		sensors[i] = Sensor{ID: i, Pos: p, Range: cfg.Range}
+	}
+	targets := make([]Target, cfg.Targets)
+	for j := range targets {
+		targets[j] = Target{
+			ID:     j,
+			Pos:    uniformPoint(cfg.Field, rng),
+			Weight: weight,
+		}
+	}
+	return NewNetwork(sensors, targets)
+}
+
+func uniformPoint(field geometry.Rect, rng *stats.RNG) geometry.Point {
+	return geometry.Point{
+		X: rng.UniformRange(field.Min.X, field.Max.X),
+		Y: rng.UniformRange(field.Min.Y, field.Max.Y),
+	}
+}
+
+func uniformPoints(field geometry.Rect, n int, rng *stats.RNG) []geometry.Point {
+	pts := make([]geometry.Point, n)
+	for i := range pts {
+		pts[i] = uniformPoint(field, rng)
+	}
+	return pts
+}
+
+func gridPoints(field geometry.Rect, n int) []geometry.Point {
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	pts := make([]geometry.Point, 0, n)
+	dx := field.Width() / float64(cols)
+	dy := field.Height() / float64(rows)
+	for r := 0; r < rows && len(pts) < n; r++ {
+		for c := 0; c < cols && len(pts) < n; c++ {
+			pts = append(pts, geometry.Point{
+				X: field.Min.X + (float64(c)+0.5)*dx,
+				Y: field.Min.Y + (float64(r)+0.5)*dy,
+			})
+		}
+	}
+	return pts
+}
+
+func clusteredPoints(cfg DeployConfig, rng *stats.RNG) []geometry.Point {
+	clusters := cfg.Clusters
+	if clusters <= 0 {
+		clusters = 5
+	}
+	std := cfg.ClusterStd
+	if std <= 0 {
+		std = 0.1 * math.Min(cfg.Field.Width(), cfg.Field.Height())
+	}
+	centers := uniformPoints(cfg.Field, clusters, rng)
+	pts := make([]geometry.Point, cfg.Sensors)
+	for i := range pts {
+		c := centers[rng.Intn(clusters)]
+		p := geometry.Point{
+			X: rng.Normal(c.X, std),
+			Y: rng.Normal(c.Y, std),
+		}
+		pts[i] = cfg.Field.Clamp(p)
+	}
+	return pts
+}
+
+// AllCoverNetwork builds the paper's Figure-8 style instance: n sensors
+// that all cover every one of m co-located targets (the identical
+// coverage model, a special case of the general model). Sensors are
+// placed on a small disk-shaped cluster around the targets.
+func AllCoverNetwork(n, m int) (*Network, error) {
+	if n <= 0 {
+		return nil, ErrNoSensors
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("wsn: negative target count %d", m)
+	}
+	center := geometry.Point{X: 50, Y: 50}
+	sensors := make([]Sensor, n)
+	for i := range sensors {
+		// Place sensors on concentric rings; exact positions are
+		// irrelevant because the range covers the whole cluster.
+		angle := 2 * math.Pi * float64(i) / float64(n)
+		r := 1 + float64(i%7)
+		sensors[i] = Sensor{
+			ID:    i,
+			Pos:   geometry.Point{X: center.X + r*math.Cos(angle), Y: center.Y + r*math.Sin(angle)},
+			Range: 100,
+		}
+	}
+	targets := make([]Target, m)
+	for j := range targets {
+		targets[j] = Target{ID: j, Pos: center.Add(float64(j), 0), Weight: 1}
+	}
+	return NewNetwork(sensors, targets)
+}

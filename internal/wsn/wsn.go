@@ -1,0 +1,187 @@
+// Package wsn models the sensor network of the paper (Section II-A):
+// sensors with fixed sensing footprints, targets, the coverage relation
+// V(O_i), and deployment generators for synthetic evaluations.
+package wsn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cool/internal/geometry"
+)
+
+// Sensor is one node v_i of the network. Its sensing footprint R(v_i)
+// is fixed because the operating power is fixed (paper assumption).
+type Sensor struct {
+	// ID is the sensor's index in the network, 0-based.
+	ID int
+	// Pos is the node's location (the paper identifies node and
+	// position).
+	Pos geometry.Point
+	// Range is the sensing radius of the default disk footprint.
+	Range float64
+	// Footprint optionally overrides the disk footprint with an
+	// arbitrary region (e.g. a Sector for a directional sensor). When
+	// nil, the disk (Pos, Range) is used.
+	Footprint geometry.Region
+}
+
+// Region returns the sensing footprint R(v) of the sensor.
+func (s Sensor) Region() geometry.Region {
+	if s.Footprint != nil {
+		return s.Footprint
+	}
+	return geometry.Disk{Center: s.Pos, Radius: s.Range}
+}
+
+// Covers reports whether the sensor's footprint contains the point.
+func (s Sensor) Covers(p geometry.Point) bool { return s.Region().Contains(p) }
+
+// Target is one monitored object O_i.
+type Target struct {
+	// ID is the target's index, 0-based.
+	ID int
+	// Pos is the target's location.
+	Pos geometry.Point
+	// Weight is the relative monitoring preference w_i (> 0).
+	Weight float64
+}
+
+// Network is an immutable deployment: sensors, targets, and the
+// coverage relation between them.
+type Network struct {
+	sensors []Sensor
+	targets []Target
+	// coverers[j] = sorted sensor IDs covering target j (the paper's
+	// V(O_j)).
+	coverers [][]int
+	// covered[i] = sorted target IDs covered by sensor i.
+	covered [][]int
+}
+
+// ErrNoSensors is returned when a network is constructed without
+// sensors.
+var ErrNoSensors = errors.New("wsn: network needs at least one sensor")
+
+// NewNetwork validates the deployment and precomputes the coverage
+// relation a_ij (1 iff sensor v_i covers target O_j).
+func NewNetwork(sensors []Sensor, targets []Target) (*Network, error) {
+	if len(sensors) == 0 {
+		return nil, ErrNoSensors
+	}
+	for i, s := range sensors {
+		if s.ID != i {
+			return nil, fmt.Errorf("wsn: sensor %d has ID %d, want ordinal", i, s.ID)
+		}
+		if s.Footprint == nil && !(s.Range > 0) {
+			return nil, fmt.Errorf("wsn: sensor %d has non-positive range %v", i, s.Range)
+		}
+	}
+	for j, t := range targets {
+		if t.ID != j {
+			return nil, fmt.Errorf("wsn: target %d has ID %d, want ordinal", j, t.ID)
+		}
+		if !(t.Weight > 0) || math.IsInf(t.Weight, 0) {
+			return nil, fmt.Errorf("wsn: target %d has invalid weight %v", j, t.Weight)
+		}
+	}
+	n := &Network{
+		sensors:  append([]Sensor(nil), sensors...),
+		targets:  append([]Target(nil), targets...),
+		coverers: make([][]int, len(targets)),
+		covered:  make([][]int, len(sensors)),
+	}
+	for j, t := range targets {
+		for i, s := range sensors {
+			if s.Covers(t.Pos) {
+				n.coverers[j] = append(n.coverers[j], i)
+				n.covered[i] = append(n.covered[i], j)
+			}
+		}
+	}
+	return n, nil
+}
+
+// NumSensors returns n.
+func (n *Network) NumSensors() int { return len(n.sensors) }
+
+// NumTargets returns m.
+func (n *Network) NumTargets() int { return len(n.targets) }
+
+// Sensor returns sensor i.
+func (n *Network) Sensor(i int) Sensor { return n.sensors[i] }
+
+// Target returns target j.
+func (n *Network) Target(j int) Target { return n.targets[j] }
+
+// Sensors returns a copy of the sensor slice.
+func (n *Network) Sensors() []Sensor { return append([]Sensor(nil), n.sensors...) }
+
+// Targets returns a copy of the target slice.
+func (n *Network) Targets() []Target { return append([]Target(nil), n.targets...) }
+
+// Coverers returns V(O_j): the sensors covering target j, in increasing
+// ID order. The returned slice must not be modified.
+func (n *Network) Coverers(j int) []int { return n.coverers[j] }
+
+// CoveredTargets returns the targets covered by sensor i, in increasing
+// ID order. The returned slice must not be modified.
+func (n *Network) CoveredTargets(i int) []int { return n.covered[i] }
+
+// CoversTarget reports a_ij: whether sensor i covers target j.
+func (n *Network) CoversTarget(i, j int) bool {
+	for _, v := range n.coverers[j] {
+		if v == i {
+			return true
+		}
+		if v > i {
+			return false
+		}
+	}
+	return false
+}
+
+// UncoveredTargets returns the IDs of targets no sensor can monitor.
+// Such targets contribute zero utility under every policy; callers may
+// want to warn about them.
+func (n *Network) UncoveredTargets() []int {
+	var out []int
+	for j := range n.targets {
+		if len(n.coverers[j]) == 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// CoverageDegreeStats returns the min, mean and max number of sensors
+// covering a target (0s included).
+func (n *Network) CoverageDegreeStats() (min int, mean float64, max int) {
+	if len(n.targets) == 0 {
+		return 0, 0, 0
+	}
+	min = len(n.coverers[0])
+	var sum int
+	for _, c := range n.coverers {
+		d := len(c)
+		sum += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, float64(sum) / float64(len(n.targets)), max
+}
+
+// Regions returns every sensor's footprint, indexed by sensor ID —
+// the input to geometry.Subdivide for the region-coverage utility.
+func (n *Network) Regions() []geometry.Region {
+	out := make([]geometry.Region, len(n.sensors))
+	for i, s := range n.sensors {
+		out[i] = s.Region()
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package cool
+
+import (
+	"cool/internal/geometry"
+	"cool/internal/stats"
+	"cool/internal/wsn"
+)
+
+// Network re-exports the deployment model: sensors with sensing
+// footprints, targets, and the coverage relation V(O_i).
+type (
+	// Network is an immutable sensor/target deployment.
+	Network = wsn.Network
+	// Sensor is one node with position and sensing footprint.
+	Sensor = wsn.Sensor
+	// Target is one monitored object with a preference weight.
+	Target = wsn.Target
+	// DeployConfig describes a synthetic deployment.
+	DeployConfig = wsn.DeployConfig
+	// Layout selects the sensor placement pattern.
+	Layout = wsn.Layout
+	// DetectionModel maps (sensor, target) to a detection probability.
+	DetectionModel = wsn.DetectionModel
+	// FixedProb detects with the same probability everywhere (the
+	// paper's evaluation uses 0.4).
+	FixedProb = wsn.FixedProb
+	// DistanceDecay degrades detection probability with distance.
+	DistanceDecay = wsn.DistanceDecay
+)
+
+// Deployment layouts.
+const (
+	// LayoutUniform scatters sensors uniformly (the paper's Figure-9
+	// deployments).
+	LayoutUniform = wsn.LayoutUniform
+	// LayoutGrid places sensors on a regular grid.
+	LayoutGrid = wsn.LayoutGrid
+	// LayoutClustered samples sensors from Gaussian clusters.
+	LayoutClustered = wsn.LayoutClustered
+)
+
+// NewNetwork validates an explicit deployment and precomputes the
+// coverage relation. Sensor and target IDs must be ordinal.
+func NewNetwork(sensors []Sensor, targets []Target) (*Network, error) {
+	return wsn.NewNetwork(sensors, targets)
+}
+
+// Deploy generates a random deployment. Randomness is fully determined
+// by seed.
+func Deploy(cfg DeployConfig, seed uint64) (*Network, error) {
+	return wsn.Deploy(cfg, stats.NewRNG(seed))
+}
+
+// AllCoverNetwork builds the paper's Figure-8 workload: n sensors that
+// all cover each of m co-located targets.
+func AllCoverNetwork(n, m int) (*Network, error) {
+	return wsn.AllCoverNetwork(n, m)
+}
+
+// NewField is shorthand for the square deployment field
+// [0, side] × [0, side].
+func NewField(side float64) Rect {
+	return geometry.NewRect(geometry.Point{}, geometry.Point{X: side, Y: side})
+}

@@ -1,0 +1,169 @@
+package cool
+
+import (
+	"errors"
+	"fmt"
+
+	"cool/internal/baselines"
+	"cool/internal/core"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+)
+
+// Planner couples a utility with a charging period and computes
+// periodic activation schedules. One Planner can produce schedules with
+// every algorithm in the library; methods are independent and safe to
+// call repeatedly.
+type Planner struct {
+	utility Utility
+	period  Period
+	inst    core.Instance
+}
+
+// NewPlanner validates the inputs and returns a planner for the
+// utility's ground set (one slot assignment per sensor).
+func NewPlanner(u Utility, period Period) (*Planner, error) {
+	if u == nil {
+		return nil, errors.New("cool: nil utility")
+	}
+	if err := period.Validate(); err != nil {
+		return nil, err
+	}
+	if u.GroundSize() <= 0 {
+		return nil, fmt.Errorf("cool: utility has empty ground set")
+	}
+	return &Planner{
+		utility: u,
+		period:  period,
+		inst: core.Instance{
+			N:       u.GroundSize(),
+			Period:  period,
+			Factory: u.NewOracle,
+		},
+	}, nil
+}
+
+// Period returns the planner's charging period.
+func (p *Planner) Period() Period { return p.period }
+
+// Greedy computes the paper's greedy hill-climbing schedule
+// (Algorithm 1 / its ρ ≤ 1 removal form). The result achieves at least
+// half the optimal average utility (Lemma 4.1, Theorems 4.3/4.4).
+func (p *Planner) Greedy() (*Schedule, error) { return core.Greedy(p.inst) }
+
+// LazyGreedy computes the same schedule as Greedy using lazy marginal
+// evaluation (CELF for ρ ≥ 1 placement, its loss-side dual for ρ ≤ 1
+// removal) — typically several times faster on large instances.
+func (p *Planner) LazyGreedy() (*Schedule, error) {
+	if core.ModeFor(p.period) == core.ModeRemoval {
+		return core.LazyGreedyRemoval(p.inst)
+	}
+	return core.LazyGreedy(p.inst)
+}
+
+// Exact computes an optimal schedule by branch and bound. maxNodes
+// bounds the search (0 = default); instances beyond ~12 sensors are
+// rejected as too large.
+func (p *Planner) Exact(maxNodes int64) (*Schedule, error) {
+	return core.Exact(p.inst, core.ExactOptions{MaxNodes: maxNodes})
+}
+
+// LPRound solves the LP relaxation of the scheduling problem and rounds
+// it to a feasible schedule (Section IV-A-1 of the paper). It requires
+// a weighted-coverage utility (NewTargetCountUtility, NewAreaUtility or
+// NewCoverageUtility) and a ρ ≥ 1 period; it returns the schedule and
+// the LP optimum, a valid upper bound on any schedule's period utility.
+func (p *Planner) LPRound(seed uint64) (*Schedule, float64, error) {
+	cov, ok := utilityAsLinearizable(p.utility)
+	if !ok {
+		return nil, 0, errors.New("cool: LPRound requires a weighted-coverage utility")
+	}
+	if core.ModeFor(p.period) != core.ModePlacement {
+		return nil, 0, errors.New("cool: LPRound requires a placement-mode period (ρ ≥ 1)")
+	}
+	return core.LPRound(cov, p.period.Slots(), stats.NewRNG(seed), core.RoundingOptions{})
+}
+
+// LPRoundDeterministic derandomizes LPRound by the method of
+// conditional expectations: sensors are fixed one at a time to the
+// choice maximizing the exactly-computable expected coverage of the
+// remaining fractional solution. The result is deterministic and
+// achieves at least (1−1/e) of the LP optimum on coverage utilities.
+func (p *Planner) LPRoundDeterministic() (*Schedule, float64, error) {
+	cov, ok := utilityAsLinearizable(p.utility)
+	if !ok {
+		return nil, 0, errors.New("cool: LPRoundDeterministic requires a weighted-coverage utility")
+	}
+	if core.ModeFor(p.period) != core.ModePlacement {
+		return nil, 0, errors.New("cool: LPRoundDeterministic requires a placement-mode period (ρ ≥ 1)")
+	}
+	return core.LPRoundConditional(cov, p.period.Slots())
+}
+
+func utilityAsLinearizable(u Utility) (core.Linearizable, bool) {
+	if cu, ok := u.(coverageUtility); ok {
+		return cu.CoverageUtility, true
+	}
+	return nil, false
+}
+
+// Baseline computes one of the comparison schedules: "random",
+// "round-robin", "first-slot", "sorted-stride" (or "greedy" /
+// "lazy-greedy" for the paper's algorithm through the same interface).
+func (p *Planner) Baseline(name string, seed uint64) (*Schedule, error) {
+	return baselines.Build(baselines.Name(name), p.inst, stats.NewRNG(seed))
+}
+
+// BaselineNames lists the accepted Baseline names in reporting order.
+func BaselineNames() []string {
+	all := baselines.All()
+	out := make([]string, len(all))
+	for i, n := range all {
+		out[i] = string(n)
+	}
+	return out
+}
+
+// PeriodUtility evaluates Σ_{t<T} U(S(t)) of a schedule under the
+// planner's utility.
+func (p *Planner) PeriodUtility(s *Schedule) float64 {
+	return s.PeriodUtility(p.inst.Factory)
+}
+
+// AverageUtility evaluates the paper's metric: average utility per slot
+// per target (pass targets = 1 to skip target normalization).
+func (p *Planner) AverageUtility(s *Schedule, targets int) float64 {
+	return s.AverageUtility(p.inst.Factory, targets)
+}
+
+// Bracket returns lower and upper bounds on the optimal period utility
+// ([greedy, min(2·greedy, T·U(V))]).
+func (p *Planner) Bracket() (lower, upper float64, err error) {
+	return core.ApproximationBracket(p.inst)
+}
+
+// PaperUpperBound re-exports the paper's Figure-8 closed-form bound
+// U* = 1 − (1−p)^⌈n/T⌉ for a single target covered by all n sensors
+// with identical detection probability p.
+func PaperUpperBound(p float64, n int, period Period) (float64, error) {
+	return core.PaperUpperBound(p, n, period.Slots())
+}
+
+// SubsetSumGadget re-exports the Theorem-3.1 NP-hardness reduction so
+// downstream users can reproduce the hardness construction.
+type SubsetSumGadget = core.SubsetSumGadget
+
+// ExactOptions tunes the exact branch-and-bound search.
+type ExactOptions = core.ExactOptions
+
+// NewSubsetSumGadget builds the hardness gadget from positive integers.
+func NewSubsetSumGadget(items []int64) (*SubsetSumGadget, error) {
+	return core.NewSubsetSumGadget(items)
+}
+
+// NewInstanceOracleFactory exposes the utility's oracle factory in the
+// form the internal scheduling and simulation APIs consume. Most users
+// never need this; it exists for advanced composition.
+func NewInstanceOracleFactory(u Utility) func() submodular.RemovalOracle {
+	return u.NewOracle
+}

@@ -1,0 +1,119 @@
+package cool
+
+import (
+	"errors"
+	"time"
+
+	"cool/internal/energy"
+	"cool/internal/sim"
+	"cool/internal/solar"
+	"cool/internal/stats"
+	"cool/internal/trace"
+)
+
+// Simulation re-exports the slotted simulator types.
+type (
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult summarizes a run.
+	SimResult = sim.Result
+	// SlotRecord is the per-slot outcome.
+	SlotRecord = sim.SlotRecord
+	// Fault injects a permanent node failure.
+	Fault = sim.Fault
+	// WeatherShift changes the charging pattern mid-run.
+	WeatherShift = sim.WeatherShift
+	// DeterministicCharging is the paper's fixed-rate model.
+	DeterministicCharging = sim.DeterministicCharging
+	// RandomCharging is the Section-V stochastic model.
+	RandomCharging = sim.RandomCharging
+	// Policy decides which sensors to activate each slot.
+	Policy = sim.Policy
+	// SchedulePolicy follows a precomputed schedule.
+	SchedulePolicy = sim.SchedulePolicy
+	// AllReadyPolicy activates everything ready (the naive baseline).
+	AllReadyPolicy = sim.AllReadyPolicy
+)
+
+// Simulate executes a schedule for the given number of slots under
+// deterministic charging derived from the planner's period, returning
+// the per-slot records and utility summary. For stochastic charging,
+// faults or weather shifts, fill a SimConfig and call RunSimulation.
+func Simulate(p *Planner, s *Schedule, slots, targets int, seed uint64) (*SimResult, error) {
+	if p == nil || s == nil {
+		return nil, errors.New("cool: nil planner or schedule")
+	}
+	return sim.Run(sim.Config{
+		NumSensors: s.NumSensors(),
+		Slots:      slots,
+		Policy:     sim.SchedulePolicy{Schedule: s},
+		Charging:   sim.DeterministicCharging{Period: p.period},
+		Factory:    p.inst.Factory,
+		Targets:    targets,
+		Seed:       seed,
+	})
+}
+
+// RunSimulation executes an arbitrary simulation configuration.
+func RunSimulation(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// Solar / trace re-exports: the simulated measurement substrate.
+type (
+	// Weather is a day-scale weather class.
+	Weather = solar.Weather
+	// TraceRecord is one logged (time, lux, voltage, state) row.
+	TraceRecord = trace.Record
+	// CampaignConfig describes a multi-day measurement campaign.
+	CampaignConfig = trace.CampaignConfig
+)
+
+// Weather classes.
+const (
+	// WeatherSunny is the paper's ρ = 3 regime.
+	WeatherSunny = solar.WeatherSunny
+	// WeatherPartlyCloudy has intermittent cloud shadowing.
+	WeatherPartlyCloudy = solar.WeatherPartlyCloudy
+	// WeatherOvercast is uniformly dim.
+	WeatherOvercast = solar.WeatherOvercast
+	// WeatherRain is dark with heavy attenuation.
+	WeatherRain = solar.WeatherRain
+)
+
+// MeasureCampaign simulates a measurement campaign on the solar
+// testbed substitute and returns all trace records.
+func MeasureCampaign(cfg CampaignConfig) ([]TraceRecord, error) {
+	return trace.Campaign(cfg)
+}
+
+// EstimatePatterns estimates per-window (Tr, Td) charging patterns from
+// one node's trace records — the paper's short-horizon estimation step.
+func EstimatePatterns(records []TraceRecord, window time.Duration) ([]Pattern, error) {
+	return trace.EstimatePatterns(records, window)
+}
+
+// WeatherPattern returns the expected (Tr, Td) charging pattern for a
+// weather class and panel count, anchored on the paper's measured sunny
+// pattern (45 min / 15 min).
+func WeatherPattern(w Weather, panels int) (recharge, discharge time.Duration, err error) {
+	return solar.PatternFor(w, panels)
+}
+
+// WeatherModel is a day-scale Markov chain over weather classes, used
+// to drive multi-day planning loops.
+type WeatherModel = solar.WeatherModel
+
+// DefaultWeatherModel returns a summer-continental weather chain
+// (sunny days persist, rain is rare).
+func DefaultWeatherModel() *WeatherModel { return solar.DefaultWeatherModel() }
+
+// WeatherSequence samples a days-long weather sequence from the model,
+// deterministically per seed.
+func WeatherSequence(m *WeatherModel, start Weather, days int, seed uint64) ([]Weather, error) {
+	if m == nil {
+		return nil, errors.New("cool: nil weather model")
+	}
+	return m.Sequence(start, days, stats.NewRNG(seed))
+}
+
+// EstimatorVoltageSample re-exports the estimator input sample type.
+type EstimatorVoltageSample = energy.VoltageSample
