@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel figures examples fuzz clean
 
 all: build vet test
 
@@ -18,8 +18,19 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Full race-detector pass; gates the parallel scheduling and
+# Monte-Carlo engines.
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Time the parallel engines against the seed's reference greedy and
+# write the machine-readable BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkGreedyParallel|BenchmarkSimParallel' -benchmem .
+	$(GO) run ./cmd/coolbench -fig parallel
 
 # Regenerate every paper figure and ablation into results/.
 figures:

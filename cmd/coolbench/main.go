@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,17 +31,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("coolbench", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|all")
-		outDir = fs.String("out", "", "directory for CSV output (omit to skip CSV)")
-		quick  = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
-		chart  = fs.Bool("chart", false, "also render ASCII charts")
-		seed   = fs.Uint64("seed", 1, "random seed")
+		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|all")
+		outDir  = fs.String("out", "", "directory for CSV output (omit to skip CSV)")
+		quick   = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		chart   = fs.Bool("chart", false, "also render ASCII charts")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "worker goroutines for parallel sweeps (<=0 selects GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	figs, err := collect(*fig, *quick, *seed)
+	figs, bench, err := collect(*fig, *quick, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -60,11 +62,29 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+	if bench != nil {
+		path := "BENCH_parallel.json"
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path = filepath.Join(*outDir, path)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
 	return nil
 }
 
-func collect(which string, quick bool, seed uint64) ([]*experiments.Figure, error) {
+func collect(which string, quick bool, seed uint64, workers int) ([]*experiments.Figure, *experiments.ParallelBenchResult, error) {
 	var out []*experiments.Figure
+	var bench *experiments.ParallelBenchResult
 	add := func(f *experiments.Figure, err error) error {
 		if err != nil {
 			return err
@@ -75,96 +95,110 @@ func collect(which string, quick bool, seed uint64) ([]*experiments.Figure, erro
 	want := func(k string) bool { return which == "all" || which == k }
 
 	if want("7") {
-		cfg := experiments.Fig7Config{Seed: seed}
+		cfg := experiments.Fig7Config{Seed: seed, Workers: workers}
 		if quick {
 			cfg.Interval = 15 * time.Minute
 		}
 		if err := add(experiments.Fig7(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if want("8") {
-		cfg := experiments.Fig8Config{Seed: seed, SimulateDays: 30, ExactUpTo: 0}
+		cfg := experiments.Fig8Config{Seed: seed, SimulateDays: 30, ExactUpTo: 0, Workers: workers}
 		if quick {
 			cfg.SensorCounts = []int{20, 60, 100}
 			cfg.SimulateDays = 5
 		}
 		figs, err := experiments.Fig8All(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, figs...)
 	}
 	if want("9") {
-		cfg := experiments.Fig9Config{Seed: seed}
+		cfg := experiments.Fig9Config{Seed: seed, Workers: workers}
 		if quick {
 			cfg.SensorCounts = []int{100, 300}
 			cfg.TargetCounts = []int{10, 30, 50}
 			cfg.Repeats = 1
 		}
 		if err := add(experiments.Fig9(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if want("ablation") {
-		cfg := experiments.AblationConfig{Seed: seed}
+		cfg := experiments.AblationConfig{Seed: seed, Workers: workers}
 		if quick {
 			cfg.Sensors, cfg.Targets = 60, 10
 		}
 		if err := add(experiments.AblationPolicies(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := add(experiments.AblationRho(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := add(experiments.AblationLazy(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if want("random") {
-		cfg := experiments.AblationConfig{Seed: seed}
+		cfg := experiments.AblationConfig{Seed: seed, Workers: workers}
 		if quick {
 			cfg.Sensors, cfg.Targets = 60, 10
 		}
 		if err := add(experiments.RandomChargingExperiment(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if want("sensitivity") {
-		cfg := experiments.AblationConfig{Seed: seed}
+		cfg := experiments.AblationConfig{Seed: seed, Workers: workers}
 		if quick {
 			cfg.Sensors, cfg.Targets = 40, 6
 		} else {
 			cfg.Sensors, cfg.Targets = 120, 15
 		}
 		if err := add(experiments.SensitivityP(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := add(experiments.SensitivityRange(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if want("extensions") {
-		cfg := experiments.AblationConfig{Seed: seed}
+		cfg := experiments.AblationConfig{Seed: seed, Workers: workers}
 		if quick {
 			cfg.Sensors, cfg.Targets = 30, 5
 		} else {
 			cfg.Sensors, cfg.Targets = 60, 10
 		}
 		if err := add(experiments.AblationHetero(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := add(experiments.AblationAdaptive(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := add(experiments.ClosedLoopExperiment(cfg)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|all)", which)
+	if want("parallel") {
+		cfg := experiments.ParallelBenchConfig{Seed: seed, Workers: workers}
+		if quick {
+			cfg.Sensors, cfg.Targets = 80, 10
+			cfg.Iters = 1
+			cfg.SimSlots, cfg.SimReps = 48, 8
+		}
+		f, res, err := experiments.ParallelBench(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, f)
+		bench = res
 	}
-	return out, nil
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|all)", which)
+	}
+	return out, bench, nil
 }
 
 func writeCSV(dir string, f *experiments.Figure) error {

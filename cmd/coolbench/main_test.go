@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -110,5 +111,49 @@ func TestRunChartFlag(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "+---") {
 		t.Error("chart axis missing")
+	}
+}
+
+func TestRunParallelBenchWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "parallel", "-quick", "-out", dir, "-workers", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "parallel-bench") {
+		t.Errorf("output missing parallel-bench figure:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_parallel.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_parallel.json not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"workers", "greedy_reference_ns_op", "greedy_parallel_ns_op",
+		"greedy_parallel_speedup_vs_reference", "sim_parallel_speedup",
+		"schedules_identical",
+	} {
+		if _, ok := res[key]; !ok {
+			t.Errorf("BENCH_parallel.json missing key %q", key)
+		}
+	}
+	if id, _ := res["schedules_identical"].(bool); !id {
+		t.Error("schedules_identical = false in quick bench")
+	}
+}
+
+func TestRunQuickFig9WorkersFlag(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-fig", "9", "-quick", "-workers", "1"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "9", "-quick", "-workers", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("fig9 output depends on -workers")
 	}
 }

@@ -36,13 +36,15 @@ func run(args []string, out io.Writer) error {
 		p         = fs.Float64("p", 0.4, "per-sensor detection probability")
 		rho       = fs.Float64("rho", 3, "charging ratio Tr/Td")
 		days      = fs.Int("days", 30, "working days (the paper ran 30); each day is 48 slots of 15 min")
-		policy    = fs.String("policy", "greedy", "policy: greedy|lazy|all-ready|random|round-robin|first-slot|sorted-stride")
+		policy    = fs.String("policy", "greedy", "policy: greedy|lazy|parallel|all-ready|random|round-robin|first-slot|sorted-stride")
 		charging  = fs.String("charging", "deterministic", "charging model: deterministic|random")
 		eventRate = fs.Float64("event-rate", 1, "random charging: Poisson event rate per slot")
 		eventDur  = fs.Float64("event-duration", 1, "random charging: mean event duration in slots")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		schedFile = fs.String("schedule", "", "load a JSON schedule (from coolsched -save) instead of computing one")
 		loop      = fs.Bool("loop", false, "closed-loop mode: Markov weather, per-day pattern estimation and re-planning")
+		reps      = fs.Int("reps", 1, "Monte-Carlo replications (>1 reports a mean with a 95% CI)")
+		workers   = fs.Int("workers", 0, "worker goroutines for planning and Monte-Carlo runs (<=0 selects GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +111,12 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			pol = cool.SchedulePolicy{Schedule: sched}
+		case "parallel":
+			sched, err := planner.ParallelGreedy(*workers)
+			if err != nil {
+				return err
+			}
+			pol = cool.SchedulePolicy{Schedule: sched}
 		default:
 			sched, err := planner.Baseline(*policy, *seed)
 			if err != nil {
@@ -138,6 +146,23 @@ func run(args []string, out io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("unknown charging model %q", *charging)
+	}
+
+	if *reps > 1 {
+		mc, err := cool.RunMonteCarlo(cfg, *reps, *workers)
+		if err != nil {
+			return err
+		}
+		avg := mc.AverageUtility
+		fmt.Fprintf(out, "simulated %d days (%d slots) x %d replications, policy=%s charging=%s\n",
+			*days, cfg.Slots, *reps, *policy, *charging)
+		fmt.Fprintf(out, "average utility per target per slot: %.6f ± %.6f (95%% CI)\n",
+			avg.Mean, mc.ConfidenceInterval95())
+		fmt.Fprintf(out, "  std %.6f  min %.6f  median %.6f  max %.6f\n",
+			avg.Std, avg.Min, avg.Median, avg.Max)
+		fmt.Fprintf(out, "total utility: mean %.4f\n", mc.TotalUtility.Mean)
+		fmt.Fprintf(out, "denied activations (all replications): %d\n", mc.ActivationsDenied)
+		return nil
 	}
 
 	res, err := cool.RunSimulation(cfg)

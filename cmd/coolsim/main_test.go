@@ -70,3 +70,42 @@ func TestRunClosedLoopMode(t *testing.T) {
 		}
 	}
 }
+
+func TestRunParallelPolicyMatchesGreedy(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-n", "20", "-m", "4", "-days", "1"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "20", "-m", "4", "-days", "1", "-policy", "parallel", "-workers", "4"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	// The parallel planner is bit-identical to greedy, so the simulated
+	// outcome must match line for line (modulo the policy name).
+	sq := strings.Replace(seq.String(), "policy=greedy", "", 1)
+	pr := strings.Replace(par.String(), "policy=parallel", "", 1)
+	if sq != pr {
+		t.Errorf("parallel policy diverged:\n%s\nvs\n%s", seq.String(), par.String())
+	}
+}
+
+func TestRunMonteCarloReps(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{
+		"-n", "15", "-m", "3", "-days", "1",
+		"-charging", "random", "-reps", "4",
+	}
+	if err := run(append(append([]string{}, args...), "-workers", "1"), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, args...), "-workers", "3"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("Monte-Carlo output depends on worker count:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{"4 replications", "95% CI", "std", "denied activations"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, a.String())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+// marginCache caches the marginal utility of every (sensor, slot) pair
+// against the current per-slot oracle states: gains (U(S∪{v})−U(S)) for
+// the placement greedy, losses (U(S)−U(S∖{v})) for the removal greedy.
+//
+// Dirty-slot invariant: a greedy step mutates exactly one slot's oracle
+// (the slot that received the Add or Remove). Oracles of every other
+// slot are untouched, so their cached marginals remain *exactly* equal
+// to what a fresh query would return — no submodular upper/lower-bound
+// argument is needed, the values simply cannot have changed. Refreshing
+// the single dirty column costs O(n) oracle calls, dropping the greedy
+// hill-climb from O(n·T) oracle calls per step (the seed's
+// ReferenceGreedy) to O(n), while the argmax/argmin selection becomes a
+// pure O(n·T) array scan.
+//
+// The cache is also the unit of sharding for the parallel engine:
+// workers own disjoint sensor ranges [lo, hi) of each column, so
+// fillSlot and the range scans below are data-race-free by
+// construction.
+type marginCache struct {
+	n, T int
+	// vals[t*n+v] is the cached marginal of sensor v at slot t.
+	vals []float64
+}
+
+func newMarginCache(n, T int) *marginCache {
+	return &marginCache{n: n, T: T, vals: make([]float64, n*T)}
+}
+
+// at returns the cached marginal of (v, t).
+func (c *marginCache) at(v, t int) float64 { return c.vals[t*c.n+v] }
+
+// fillSlot recomputes slot t's column for the still-unassigned sensors
+// in [lo, hi) using eval (an oracle's Gain or Loss method). Entries of
+// assigned sensors are left stale; every scan skips them.
+func (c *marginCache) fillSlot(t, lo, hi int, assign []int, eval func(v int) float64) {
+	base := t * c.n
+	for v := lo; v < hi; v++ {
+		if assign[v] < 0 {
+			c.vals[base+v] = eval(v)
+		}
+	}
+}
+
+// candidate is one (sensor, slot, marginal) selection result. v < 0
+// means "no candidate in range".
+type candidate struct {
+	v, t  int
+	value float64
+}
+
+// argmaxRange returns the maximum-gain candidate among unassigned
+// sensors in [lo, hi), scanning sensors then slots in ascending order
+// with a strict > comparison — ties therefore resolve to the lowest
+// (v, t) pair, exactly like the seed's eager scan, which keeps every
+// engine (sequential, lazy, parallel) bit-identical.
+func (c *marginCache) argmaxRange(lo, hi int, assign []int) candidate {
+	best := candidate{v: -1, t: -1, value: -1}
+	for v := lo; v < hi; v++ {
+		if assign[v] >= 0 {
+			continue
+		}
+		row := v
+		for t := 0; t < c.T; t++ {
+			if g := c.vals[t*c.n+row]; g > best.value {
+				best = candidate{v: v, t: t, value: g}
+			}
+		}
+	}
+	return best
+}
+
+// argminRange is the removal-mode dual of argmaxRange: the minimum-loss
+// candidate among unassigned sensors in [lo, hi), ties to the lowest
+// (v, t).
+func (c *marginCache) argminRange(lo, hi int, assign []int) candidate {
+	best := candidate{v: -1, t: -1}
+	found := false
+	for v := lo; v < hi; v++ {
+		if assign[v] >= 0 {
+			continue
+		}
+		for t := 0; t < c.T; t++ {
+			if l := c.vals[t*c.n+v]; !found || l < best.value {
+				best = candidate{v: v, t: t, value: l}
+				found = true
+			}
+		}
+	}
+	return best
+}
+
+// mergeMax combines per-worker argmax candidates into the global best.
+// locals must be ordered by ascending sensor range so that the strict >
+// comparison reproduces the lowest-(v, t) tie-break of a single global
+// scan.
+func mergeMax(locals []candidate) candidate {
+	best := candidate{v: -1, t: -1, value: -1}
+	for _, c := range locals {
+		if c.v >= 0 && c.value > best.value {
+			best = c
+		}
+	}
+	return best
+}
+
+// mergeMin is the removal-mode dual of mergeMax.
+func mergeMin(locals []candidate) candidate {
+	best := candidate{v: -1, t: -1}
+	found := false
+	for _, c := range locals {
+		if c.v >= 0 && (!found || c.value < best.value) {
+			best = c
+			found = true
+		}
+	}
+	return best
+}
+
+// chunkBounds splits [0, n) into k near-equal contiguous ranges,
+// returning k+1 boundaries (bounds[w] .. bounds[w+1] is worker w's
+// range). k is clamped to n so no range is empty.
+func chunkBounds(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	base, rem := n/k, n%k
+	for w := 0; w < k; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		bounds[w+1] = bounds[w] + size
+	}
+	return bounds
+}

@@ -24,17 +24,98 @@ func Greedy(in Instance) (*Schedule, error) {
 
 // greedyPlacement is Algorithm 1: repeatedly assign the (sensor, slot)
 // pair with the maximum incremental utility until every sensor is
-// scheduled. Time complexity O(n²·T·deg) with incremental oracles.
+// scheduled. It carries a dirty-slot marginal cache (see marginCache):
+// after a step only the slot that received the Add has stale gains, so
+// each step costs O(n) oracle calls plus an O(n·T) array scan instead
+// of the O(n·T) oracle calls of the seed's ReferenceGreedy. The chosen
+// schedule is bit-identical to the uncached scan.
 func greedyPlacement(in Instance) (*Schedule, error) {
 	T := in.Period.Slots()
 	oracles := make([]submodular.RemovalOracle, T)
 	for t := range oracles {
 		oracles[t] = in.Factory()
 	}
-	assign := make([]int, in.N)
+	assign := newAssignment(in.N)
+	cache := newMarginCache(in.N, T)
+	for t := 0; t < T; t++ {
+		cache.fillSlot(t, 0, in.N, assign, oracles[t].Gain)
+	}
+	for step := 0; step < in.N; step++ {
+		best := cache.argmaxRange(0, in.N, assign)
+		if best.v < 0 {
+			return nil, fmt.Errorf("core: greedy found no candidate at step %d", step)
+		}
+		oracles[best.t].Add(best.v)
+		assign[best.v] = best.t
+		// Dirty-slot refresh: only best.t's oracle changed.
+		cache.fillSlot(best.t, 0, in.N, assign, oracles[best.t].Gain)
+	}
+	return NewSchedule(ModePlacement, T, assign)
+}
+
+// greedyRemoval is the ρ ≤ 1 scheme: start from "every sensor active in
+// every slot" and, sensor by sensor, choose the passive slot whose
+// removal loses the least utility. It uses the same dirty-slot cache as
+// greedyPlacement on the loss side.
+func greedyRemoval(in Instance) (*Schedule, error) {
+	T := in.Period.Slots()
+	oracles := make([]submodular.RemovalOracle, T)
+	for t := range oracles {
+		o := in.Factory()
+		for v := 0; v < in.N; v++ {
+			o.Add(v)
+		}
+		oracles[t] = o
+	}
+	assign := newAssignment(in.N)
+	cache := newMarginCache(in.N, T)
+	for t := 0; t < T; t++ {
+		cache.fillSlot(t, 0, in.N, assign, oracles[t].Loss)
+	}
+	for step := 0; step < in.N; step++ {
+		best := cache.argminRange(0, in.N, assign)
+		if best.v < 0 {
+			return nil, fmt.Errorf("core: removal greedy found no candidate at step %d", step)
+		}
+		oracles[best.t].Remove(best.v)
+		assign[best.v] = best.t
+		cache.fillSlot(best.t, 0, in.N, assign, oracles[best.t].Loss)
+	}
+	return NewSchedule(ModeRemoval, T, assign)
+}
+
+// newAssignment returns an all-unassigned (-1) slot-assignment vector.
+func newAssignment(n int) []int {
+	assign := make([]int, n)
 	for v := range assign {
 		assign[v] = -1
 	}
+	return assign
+}
+
+// ReferenceGreedy computes the same schedule as Greedy with the seed's
+// uncached eager scan: every step re-evaluates Gain/Loss for all
+// unassigned (sensor, slot) pairs, O(n²·T·deg) total. It is retained as
+// the correctness and performance yardstick for the cached and parallel
+// engines — determinism tests assert bit-identical schedules against
+// it, and BENCH_parallel.json reports speedups relative to it.
+func ReferenceGreedy(in Instance) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if ModeFor(in.Period) == ModePlacement {
+		return referencePlacement(in)
+	}
+	return referenceRemoval(in)
+}
+
+func referencePlacement(in Instance) (*Schedule, error) {
+	T := in.Period.Slots()
+	oracles := make([]submodular.RemovalOracle, T)
+	for t := range oracles {
+		oracles[t] = in.Factory()
+	}
+	assign := newAssignment(in.N)
 	for step := 0; step < in.N; step++ {
 		bestV, bestT, bestGain := -1, -1, -1.0
 		for v := 0; v < in.N; v++ {
@@ -56,10 +137,7 @@ func greedyPlacement(in Instance) (*Schedule, error) {
 	return NewSchedule(ModePlacement, T, assign)
 }
 
-// greedyRemoval is the ρ ≤ 1 scheme: start from "every sensor active in
-// every slot" and, sensor by sensor, choose the passive slot whose
-// removal loses the least utility.
-func greedyRemoval(in Instance) (*Schedule, error) {
+func referenceRemoval(in Instance) (*Schedule, error) {
 	T := in.Period.Slots()
 	oracles := make([]submodular.RemovalOracle, T)
 	for t := range oracles {
@@ -69,10 +147,7 @@ func greedyRemoval(in Instance) (*Schedule, error) {
 		}
 		oracles[t] = o
 	}
-	assign := make([]int, in.N)
-	for v := range assign {
-		assign[v] = -1
-	}
+	assign := newAssignment(in.N)
 	for step := 0; step < in.N; step++ {
 		bestV, bestT := -1, -1
 		bestLoss := 0.0
@@ -159,10 +234,7 @@ func LazyGreedyRemoval(in Instance) (*Schedule, error) {
 		}
 		oracles[t] = o
 	}
-	assign := make([]int, in.N)
-	for v := range assign {
-		assign[v] = -1
-	}
+	assign := newAssignment(in.N)
 
 	h := make(lossHeap, 0, in.N*T)
 	for v := 0; v < in.N; v++ {
@@ -170,12 +242,18 @@ func LazyGreedyRemoval(in Instance) (*Schedule, error) {
 			h = append(h, gainEntry{v: v, t: t, gain: oracles[t].Loss(v), stamp: 0})
 		}
 	}
-	heap.Init(&h)
+	return runLazyRemoval(oracles, h, assign, in.N, T)
+}
 
+// runLazyRemoval executes the loss-side CELF loop over a pre-filled
+// (unheapified) entry slice. Shared by the sequential and parallel lazy
+// engines, which differ only in how the initial losses are evaluated.
+func runLazyRemoval(oracles []submodular.RemovalOracle, h lossHeap, assign []int, n, T int) (*Schedule, error) {
+	heap.Init(&h)
 	step := 0
-	for scheduled := 0; scheduled < in.N; {
+	for scheduled := 0; scheduled < n; {
 		if h.Len() == 0 {
-			return nil, fmt.Errorf("core: lazy removal exhausted heap with %d unscheduled", in.N-scheduled)
+			return nil, fmt.Errorf("core: lazy removal exhausted heap with %d unscheduled", n-scheduled)
 		}
 		e := heap.Pop(&h).(gainEntry)
 		if assign[e.v] >= 0 {
@@ -242,10 +320,7 @@ func LazyGreedy(in Instance) (*Schedule, error) {
 	for t := range oracles {
 		oracles[t] = in.Factory()
 	}
-	assign := make([]int, in.N)
-	for v := range assign {
-		assign[v] = -1
-	}
+	assign := newAssignment(in.N)
 
 	h := make(gainHeap, 0, in.N*T)
 	for v := 0; v < in.N; v++ {
@@ -253,12 +328,18 @@ func LazyGreedy(in Instance) (*Schedule, error) {
 			h = append(h, gainEntry{v: v, t: t, gain: oracles[t].Gain(v), stamp: 0})
 		}
 	}
-	heap.Init(&h)
+	return runLazyPlacement(oracles, h, assign, in.N, T)
+}
 
+// runLazyPlacement executes the CELF loop over a pre-filled
+// (unheapified) entry slice. Shared by the sequential and parallel lazy
+// engines, which differ only in how the initial gains are evaluated.
+func runLazyPlacement(oracles []submodular.RemovalOracle, h gainHeap, assign []int, n, T int) (*Schedule, error) {
+	heap.Init(&h)
 	step := 0
-	for scheduled := 0; scheduled < in.N; {
+	for scheduled := 0; scheduled < n; {
 		if h.Len() == 0 {
-			return nil, fmt.Errorf("core: lazy greedy exhausted heap with %d unscheduled", in.N-scheduled)
+			return nil, fmt.Errorf("core: lazy greedy exhausted heap with %d unscheduled", n-scheduled)
 		}
 		e := heap.Pop(&h).(gainEntry)
 		if assign[e.v] >= 0 {

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+
+	"cool/internal/parallel"
+	"cool/internal/submodular"
+)
+
+// This file implements the parallel scheduling engine: the greedy
+// hill-climb with its gain scans sharded across worker goroutines over
+// slot-partitioned oracles.
+//
+// Determinism contract: for every instance and every worker count,
+// ParallelGreedy returns a schedule bit-identical to Greedy, and
+// ParallelLazyGreedy one bit-identical to LazyGreedy /
+// LazyGreedyRemoval. Three properties make this hold:
+//
+//  1. Workers own static, contiguous, disjoint sensor ranges of the
+//     marginCache, so every cached marginal is computed by exactly one
+//     goroutine from exactly the same oracle state as in the sequential
+//     run — the floats are identical, not merely close.
+//  2. Each worker scans its range in ascending (sensor, slot) order
+//     with strict comparisons, and per-worker candidates are merged in
+//     range order with the same strict comparisons, which reproduces
+//     the sequential scan's lowest-(v, t) tie-break globally.
+//  3. Oracle mutations (Add/Remove) happen only between parallel read
+//     phases, on the coordinator goroutine or replicated identically
+//     into every worker's oracle set.
+//
+// Oracle sharing: when the factory's oracles advertise
+// submodular.ConcurrentReadSafe, all workers query the same T oracles
+// (Gain/Loss are pure reads). Otherwise each worker receives its own
+// Clone()-derived replica of all T oracles and replays every mutation
+// locally, so arbitrary user oracles parallelize safely at the cost of
+// workers× oracle memory.
+
+// ParallelGreedy computes the paper's greedy schedule with the gain
+// scan sharded across workers goroutines (0 or negative selects
+// runtime.GOMAXPROCS). The returned schedule is bit-identical to
+// Greedy's for every worker count; see the determinism contract above.
+func ParallelGreedy(in Instance, workers int) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	workers = parallel.Workers(workers)
+	if workers > in.N {
+		workers = in.N
+	}
+	if workers <= 1 {
+		return Greedy(in)
+	}
+	if ModeFor(in.Period) == ModePlacement {
+		return parallelPlacement(in, workers)
+	}
+	return parallelRemoval(in, workers)
+}
+
+// ParallelLazyGreedy computes the CELF lazy-greedy schedule with the
+// initial marginal evaluation — the lazy algorithm's dominant cost —
+// sharded across workers goroutines. The subsequent priority-queue
+// climb is inherently sequential (each pop depends on the previous
+// recomputation) and runs on the coordinator. The result is
+// bit-identical to LazyGreedy (placement) or LazyGreedyRemoval
+// (removal) for every worker count.
+func ParallelLazyGreedy(in Instance, workers int) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	workers = parallel.Workers(workers)
+	if workers > in.N {
+		workers = in.N
+	}
+	if workers <= 1 {
+		if ModeFor(in.Period) == ModeRemoval {
+			return LazyGreedyRemoval(in)
+		}
+		return LazyGreedy(in)
+	}
+	if ModeFor(in.Period) == ModePlacement {
+		return parallelLazyPlacement(in, workers)
+	}
+	return parallelLazyRemoval(in, workers)
+}
+
+// oracleShards holds one oracle set per worker. When the oracles are
+// concurrent-read-safe every entry aliases the same underlying set and
+// mutations are applied once; otherwise each worker owns an independent
+// replica and replays mutations locally.
+type oracleShards struct {
+	sets   [][]submodular.RemovalOracle // sets[w][t]
+	shared bool
+}
+
+// buildShards constructs the per-worker oracle sets for an instance.
+// full selects removal-mode initialization (every sensor active in
+// every slot).
+func buildShards(in Instance, workers int, full bool) (*oracleShards, error) {
+	T := in.Period.Slots()
+	base := make([]submodular.RemovalOracle, T)
+	for t := range base {
+		o := in.Factory()
+		if o == nil {
+			return nil, fmt.Errorf("core: oracle factory returned nil for slot %d", t)
+		}
+		if full {
+			for v := 0; v < in.N; v++ {
+				o.Add(v)
+			}
+		}
+		base[t] = o
+	}
+	s := &oracleShards{
+		sets:   make([][]submodular.RemovalOracle, workers),
+		shared: submodular.ReadsAreConcurrentSafe(base[0]),
+	}
+	s.sets[0] = base
+	for w := 1; w < workers; w++ {
+		if s.shared {
+			s.sets[w] = base
+			continue
+		}
+		replica := make([]submodular.RemovalOracle, T)
+		for t, o := range base {
+			c, ok := o.Clone().(submodular.RemovalOracle)
+			if !ok {
+				return nil, fmt.Errorf("core: oracle %T clones to a non-removal oracle", o)
+			}
+			replica[t] = c
+		}
+		s.sets[w] = replica
+	}
+	return s, nil
+}
+
+// applyShared performs a mutation once on the shared oracle set. It
+// must be called on the coordinator, strictly between parallel read
+// phases (the read-safety contract covers concurrent reads only).
+func (s *oracleShards) applyShared(t, v int, add bool) {
+	if add {
+		s.sets[0][t].Add(v)
+	} else {
+		s.sets[0][t].Remove(v)
+	}
+}
+
+// applyReplica replays a mutation on worker w's private replica. Safe
+// to call from inside w's own parallel phase: no other goroutine ever
+// touches w's replica set.
+func (s *oracleShards) applyReplica(w, t, v int, add bool) {
+	if add {
+		s.sets[w][t].Add(v)
+	} else {
+		s.sets[w][t].Remove(v)
+	}
+}
+
+// parallelClimb is the shared engine behind parallelPlacement and
+// parallelRemoval: fill the marginal cache in parallel, then repeat
+// {merge per-worker candidates → mutate the chosen slot → refresh the
+// dirty column and rescan in parallel} until every sensor is assigned.
+func parallelClimb(in Instance, workers int, removal bool) (*Schedule, error) {
+	T := in.Period.Slots()
+	n := in.N
+	shards, err := buildShards(in, workers, removal)
+	if err != nil {
+		return nil, err
+	}
+	assign := newAssignment(n)
+	cache := newMarginCache(n, T)
+	bounds := chunkBounds(n, workers)
+	workers = len(bounds) - 1
+	locals := make([]candidate, workers)
+
+	// margin returns worker w's evaluation function for slot t.
+	margin := func(w, t int) func(int) float64 {
+		if removal {
+			return shards.sets[w][t].Loss
+		}
+		return shards.sets[w][t].Gain
+	}
+	scan := func(w int) candidate {
+		if removal {
+			return cache.argminRange(bounds[w], bounds[w+1], assign)
+		}
+		return cache.argmaxRange(bounds[w], bounds[w+1], assign)
+	}
+	merge := func() candidate {
+		if removal {
+			return mergeMin(locals)
+		}
+		return mergeMax(locals)
+	}
+
+	// Initial fill: every worker evaluates all T slots for its sensor
+	// range, then records its local best.
+	if err := parallel.For(workers, workers, func(w int) error {
+		for t := 0; t < T; t++ {
+			cache.fillSlot(t, bounds[w], bounds[w+1], assign, margin(w, t))
+		}
+		locals[w] = scan(w)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for step := 0; step < n; step++ {
+		best := merge()
+		if best.v < 0 {
+			return nil, fmt.Errorf("core: parallel greedy found no candidate at step %d", step)
+		}
+		assign[best.v] = best.t
+		bv, bt := best.v, best.t
+		if step == n-1 {
+			break // nothing left to refresh or scan
+		}
+		if shards.shared {
+			// Mutate the shared oracle on the coordinator, before any
+			// worker reads it again: read-safety covers concurrent
+			// reads only, never a write racing a read.
+			shards.applyShared(bt, bv, !removal)
+		}
+		if err := parallel.For(workers, workers, func(w int) error {
+			// Replay the mutation on private replicas, refresh the
+			// dirty column, and rescan. Slots other than bt are
+			// untouched, so their cached marginals remain exact.
+			if !shards.shared {
+				shards.applyReplica(w, bt, bv, !removal)
+			}
+			cache.fillSlot(bt, bounds[w], bounds[w+1], assign, margin(w, bt))
+			locals[w] = scan(w)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	mode := ModePlacement
+	if removal {
+		mode = ModeRemoval
+	}
+	return NewSchedule(mode, T, assign)
+}
+
+func parallelPlacement(in Instance, workers int) (*Schedule, error) {
+	return parallelClimb(in, workers, false)
+}
+
+func parallelRemoval(in Instance, workers int) (*Schedule, error) {
+	return parallelClimb(in, workers, true)
+}
+
+// parallelLazyFill evaluates the initial (sensor, slot) marginals into
+// an entry slice laid out exactly like the sequential fill
+// (index v*T + t), sharded by sensor range.
+func parallelLazyFill(in Instance, workers int, shards *oracleShards, removal bool) ([]gainEntry, error) {
+	T := in.Period.Slots()
+	entries := make([]gainEntry, in.N*T)
+	bounds := chunkBounds(in.N, workers)
+	err := parallel.For(len(bounds)-1, len(bounds)-1, func(w int) error {
+		for v := bounds[w]; v < bounds[w+1]; v++ {
+			for t := 0; t < T; t++ {
+				var m float64
+				if removal {
+					m = shards.sets[w][t].Loss(v)
+				} else {
+					m = shards.sets[w][t].Gain(v)
+				}
+				entries[v*T+t] = gainEntry{v: v, t: t, gain: m, stamp: 0}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+func parallelLazyPlacement(in Instance, workers int) (*Schedule, error) {
+	shards, err := buildShards(in, workers, false)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := parallelLazyFill(in, workers, shards, false)
+	if err != nil {
+		return nil, err
+	}
+	return runLazyPlacement(shards.sets[0], gainHeap(entries), newAssignment(in.N), in.N, in.Period.Slots())
+}
+
+func parallelLazyRemoval(in Instance, workers int) (*Schedule, error) {
+	shards, err := buildShards(in, workers, true)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := parallelLazyFill(in, workers, shards, true)
+	if err != nil {
+		return nil, err
+	}
+	return runLazyRemoval(shards.sets[0], lossHeap(entries), newAssignment(in.N), in.N, in.Period.Slots())
+}

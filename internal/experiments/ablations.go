@@ -22,6 +22,9 @@ type AblationConfig struct {
 	// 100, 0.4, 0).
 	FieldSide, Range, DetectP float64
 	Seed                      uint64
+	// Workers bounds the worker pool of the sweeps that parallelize
+	// (0 or negative selects runtime.GOMAXPROCS).
+	Workers int
 }
 
 func (c *AblationConfig) defaults() {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cool/internal/energy"
+	"cool/internal/parallel"
 	"cool/internal/solar"
 	"cool/internal/stats"
 	"cool/internal/trace"
@@ -23,6 +24,9 @@ type Fig7Config struct {
 	Window time.Duration
 	// Seed drives the simulation.
 	Seed uint64
+	// Workers bounds the per-node processing pool (0 or negative
+	// selects runtime.GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig7Config) defaults() {
@@ -64,8 +68,16 @@ func Fig7(cfg Fig7Config) (*Figure, error) {
 		XLabel: "hour",
 		YLabel: "value",
 	}
+	// The two nodes' series extraction and pattern estimation are
+	// independent; process them on the shared pool and assemble the
+	// figure in node order afterwards.
 	names := []string{"node5", "node6"}
-	for node := 0; node < 2; node++ {
+	type nodeResult struct {
+		lux, volt Series
+		note      string
+	}
+	results := make([]nodeResult, len(names))
+	if err := parallel.For(cfg.Workers, len(names), func(node int) error {
 		recs := trace.NodeRecords(records, node)
 		lux := Series{Label: names[node] + "-lux-klx"}
 		volt := Series{Label: names[node] + "-voltage"}
@@ -76,21 +88,29 @@ func Fig7(cfg Fig7Config) (*Figure, error) {
 			volt.X = append(volt.X, h)
 			volt.Y = append(volt.Y, r.Voltage)
 		}
-		fig.Series = append(fig.Series, lux, volt)
-
+		res := nodeResult{lux: lux, volt: volt}
 		patterns, err := trace.EstimatePatterns(recs, cfg.Window)
 		if err != nil {
-			fig.Notes = append(fig.Notes, fmt.Sprintf("%s: no estimable windows: %v", names[node], err))
-			continue
+			res.note = fmt.Sprintf("%s: no estimable windows: %v", names[node], err)
+			results[node] = res
+			return nil
 		}
 		summary, err := summarizePatterns(patterns)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fig.Notes = append(fig.Notes, fmt.Sprintf(
+		res.note = fmt.Sprintf(
 			"%s: %d estimable windows, median Tr=%s Td=%s rho=%.2f",
 			names[node], len(patterns), summary.tr.Round(time.Minute),
-			summary.td.Round(time.Minute), summary.rho))
+			summary.td.Round(time.Minute), summary.rho)
+		results[node] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		fig.Series = append(fig.Series, res.lux, res.volt)
+		fig.Notes = append(fig.Notes, res.note)
 	}
 	fig.Notes = append(fig.Notes,
 		"paper: sunny-weather pattern Tr≈45min Td≈15min (rho=3, T=4 slots of 15min)")

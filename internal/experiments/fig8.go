@@ -5,6 +5,7 @@ import (
 
 	"cool/internal/core"
 	"cool/internal/energy"
+	"cool/internal/parallel"
 	"cool/internal/sim"
 	"cool/internal/stats"
 	"cool/internal/submodular"
@@ -36,6 +37,9 @@ type Fig8Config struct {
 	SimulateDays int
 	// Seed drives the simulated weather sequence.
 	Seed uint64
+	// Workers bounds the worker pool for the per-n sweep (0 or negative
+	// selects runtime.GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig8Config) defaults() error {
@@ -92,17 +96,27 @@ func Fig8(cfg Fig8Config) (*Figure, error) {
 	}
 	T := period.Slots()
 
-	greedy := Series{Label: "greedy-avg-utility"}
-	bound := Series{Label: "upper-bound"}
-	exact := Series{Label: "exact-optimum"}
-	simulated := Series{Label: "simulated-30day"}
-	for _, n := range cfg.SensorCounts {
+	// Each sensor count is an independent point; compute them on the
+	// shared worker pool into index-addressed slots, then assemble the
+	// series strictly in sweep order so the figure is identical for
+	// every worker count.
+	type fig8Point struct {
+		greedy, bound float64
+		hasExact      bool
+		exact         float64
+		hasSim        bool
+		sim           float64
+	}
+	points := make([]fig8Point, len(cfg.SensorCounts))
+	if err := parallel.For(cfg.Workers, len(cfg.SensorCounts), func(i int) error {
+		n := cfg.SensorCounts[i]
 		if n <= 0 {
-			return nil, fmt.Errorf("experiments: non-positive sensor count %d", n)
+			return fmt.Errorf("experiments: non-positive sensor count %d", n)
 		}
+		var pt fig8Point
 		u, err := fig8Utility(n, cfg.Targets, cfg.DetectP)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		in := core.Instance{
 			N:       n,
@@ -111,38 +125,58 @@ func Fig8(cfg Fig8Config) (*Figure, error) {
 		}
 		sched, err := core.LazyGreedy(in)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		avg := sched.AverageUtility(in.Factory, cfg.Targets)
-		greedy.X = append(greedy.X, float64(n))
-		greedy.Y = append(greedy.Y, avg)
+		pt.greedy = sched.AverageUtility(in.Factory, cfg.Targets)
 
 		// The per-target bound is identical across targets in this
 		// workload, so the per-target average bound is the single-target
 		// formula.
-		b, err := core.PaperUpperBound(cfg.DetectP, n, T)
+		pt.bound, err = core.PaperUpperBound(cfg.DetectP, n, T)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bound.X = append(bound.X, float64(n))
-		bound.Y = append(bound.Y, b)
 
 		if cfg.ExactUpTo > 0 && n <= cfg.ExactUpTo {
 			opt, err := core.OptimalValue(in, core.ExactOptions{})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			exact.X = append(exact.X, float64(n))
-			exact.Y = append(exact.Y, opt/float64(T)/float64(cfg.Targets))
+			pt.hasExact = true
+			pt.exact = opt / float64(T) / float64(cfg.Targets)
 		}
 
 		if cfg.SimulateDays > 0 {
 			avgSim, err := fig8Simulate(u, n, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			pt.hasSim = true
+			pt.sim = avgSim
+		}
+		points[i] = pt
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	greedy := Series{Label: "greedy-avg-utility"}
+	bound := Series{Label: "upper-bound"}
+	exact := Series{Label: "exact-optimum"}
+	simulated := Series{Label: "simulated-30day"}
+	for i, n := range cfg.SensorCounts {
+		pt := points[i]
+		greedy.X = append(greedy.X, float64(n))
+		greedy.Y = append(greedy.Y, pt.greedy)
+		bound.X = append(bound.X, float64(n))
+		bound.Y = append(bound.Y, pt.bound)
+		if pt.hasExact {
+			exact.X = append(exact.X, float64(n))
+			exact.Y = append(exact.Y, pt.exact)
+		}
+		if pt.hasSim {
 			simulated.X = append(simulated.X, float64(n))
-			simulated.Y = append(simulated.Y, avgSim)
+			simulated.Y = append(simulated.Y, pt.sim)
 		}
 	}
 

@@ -2,12 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"cool/internal/core"
 	"cool/internal/energy"
 	"cool/internal/geometry"
+	"cool/internal/parallel"
 	"cool/internal/stats"
 	"cool/internal/submodular"
 	"cool/internal/wsn"
@@ -32,6 +31,9 @@ type Fig9Config struct {
 	Repeats int
 	// Seed drives deployment randomness.
 	Seed uint64
+	// Workers bounds the worker pool for the sweep (0 or negative
+	// selects runtime.GOMAXPROCS).
+	Workers int
 }
 
 func (c *Fig9Config) defaults() error {
@@ -89,9 +91,11 @@ func Fig9(cfg Fig9Config) (*Figure, error) {
 		YLabel: "avg-utility",
 	}
 
-	// The sweep's points are independent; run them on a bounded worker
-	// pool. Determinism is preserved by splitting one RNG per point in
-	// a fixed order before any worker starts.
+	// The sweep's points are independent; run them on the shared bounded
+	// worker pool. Determinism is preserved by splitting one RNG per
+	// point in a fixed order before any worker starts and by writing
+	// each point's result into an index-addressed slot, so the final
+	// accumulation adds floats in the same order for every worker count.
 	type job struct {
 		si, mi, rep int
 		n, m        int
@@ -105,42 +109,24 @@ func Fig9(cfg Fig9Config) (*Figure, error) {
 			}
 		}
 	}
+	partial := make([]float64, len(jobs))
+	if err := parallel.For(cfg.Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		avg, err := fig9Point(j.n, j.m, cfg, period, field, j.rng)
+		if err != nil {
+			return err
+		}
+		partial[i] = avg
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	sums := make([][]float64, len(cfg.SensorCounts))
 	for i := range sums {
 		sums[i] = make([]float64, len(cfg.TargetCounts))
 	}
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	jobCh := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				avg, err := fig9Point(j.n, j.m, cfg, period, field, j.rng)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				sums[j.si][j.mi] += avg
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, j := range jobs {
+		sums[j.si][j.mi] += partial[i]
 	}
 
 	for si, n := range cfg.SensorCounts {

@@ -6,6 +6,7 @@ import (
 	"cool/internal/core"
 	"cool/internal/energy"
 	"cool/internal/geometry"
+	"cool/internal/parallel"
 	"cool/internal/stats"
 	"cool/internal/submodular"
 	"cool/internal/wsn"
@@ -29,11 +30,14 @@ func SensitivityP(cfg AblationConfig) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := Series{Label: "greedy-avg-utility"}
-	for _, p := range []float64{0.1, 0.2, 0.4, 0.6, 0.8, 0.95} {
-		u, err := wsn.BuildDetectionUtility(net, wsn.FixedProb(p))
+	// Every p shares the read-only deployment; each point runs on the
+	// shared worker pool and writes its index-addressed slot.
+	ps := []float64{0.1, 0.2, 0.4, 0.6, 0.8, 0.95}
+	ys := make([]float64, len(ps))
+	if err := parallel.For(cfg.Workers, len(ps), func(i int) error {
+		u, err := wsn.BuildDetectionUtility(net, wsn.FixedProb(ps[i]))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		in := core.Instance{
 			N:       cfg.Sensors,
@@ -42,11 +46,14 @@ func SensitivityP(cfg AblationConfig) (*Figure, error) {
 		}
 		sched, err := core.LazyGreedy(in)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s.X = append(s.X, p)
-		s.Y = append(s.Y, sched.AverageUtility(in.Factory, cfg.Targets))
+		ys[i] = sched.AverageUtility(in.Factory, cfg.Targets)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	s := Series{Label: "greedy-avg-utility", X: ps, Y: ys}
 	return &Figure{
 		ID:     "sensitivity-p",
 		Title:  fmt.Sprintf("Detection probability sweep (n=%d m=%d)", cfg.Sensors, cfg.Targets),
@@ -65,21 +72,24 @@ func SensitivityRange(cfg AblationConfig) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := Series{Label: "greedy-avg-utility"}
-	covered := Series{Label: "coverable-target-fraction"}
-	for _, r := range []float64{25, 50, 75, 100, 150, 200} {
+	// Every radius deploys its own network from a fresh RNG of the same
+	// seed, so the points are fully independent and pool-friendly.
+	radii := []float64{25, 50, 75, 100, 150, 200}
+	ys := make([]float64, len(radii))
+	frac := make([]float64, len(radii))
+	if err := parallel.For(cfg.Workers, len(radii), func(i int) error {
 		net, err := wsn.Deploy(wsn.DeployConfig{
 			Field:   geometry.NewRect(geometry.Point{}, geometry.Point{X: cfg.FieldSide, Y: cfg.FieldSide}),
 			Sensors: cfg.Sensors,
 			Targets: cfg.Targets,
-			Range:   r,
+			Range:   radii[i],
 		}, stats.NewRNG(cfg.Seed))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		u, err := wsn.BuildDetectionUtility(net, wsn.FixedProb(cfg.DetectP))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		in := core.Instance{
 			N:       cfg.Sensors,
@@ -88,14 +98,16 @@ func SensitivityRange(cfg AblationConfig) (*Figure, error) {
 		}
 		sched, err := core.LazyGreedy(in)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s.X = append(s.X, r)
-		s.Y = append(s.Y, sched.AverageUtility(in.Factory, cfg.Targets))
-		covered.X = append(covered.X, r)
-		covered.Y = append(covered.Y,
-			1-float64(len(net.UncoveredTargets()))/float64(cfg.Targets))
+		ys[i] = sched.AverageUtility(in.Factory, cfg.Targets)
+		frac[i] = 1 - float64(len(net.UncoveredTargets()))/float64(cfg.Targets)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	s := Series{Label: "greedy-avg-utility", X: radii, Y: ys}
+	covered := Series{Label: "coverable-target-fraction", X: append([]float64(nil), radii...), Y: frac}
 	return &Figure{
 		ID:     "sensitivity-range",
 		Title:  fmt.Sprintf("Sensing radius sweep (n=%d m=%d, p=%v)", cfg.Sensors, cfg.Targets, cfg.DetectP),

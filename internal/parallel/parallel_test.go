@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		if err := For(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForReportsLowestFailingIndex(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := For(workers, 100, func(i int) error {
+			if i == 17 || i == 61 {
+				return errBoom
+			}
+			return nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: got %v, want errBoom", workers, err)
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	called := false
+	if err := For(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := For(4, -5, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	_ = For(4, 16, func(i int) error {
+		if i == 7 {
+			panic("kaboom")
+		}
+		return nil
+	})
+}
+
+func TestForChunksCoversRangeExactly(t *testing.T) {
+	for _, workers := range []int{1, 3, 7, 16} {
+		const n = 103
+		var hits [n]atomic.Int32
+		if err := ForChunks(workers, n, func(lo, hi int) error {
+			if lo >= hi {
+				t.Errorf("empty chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunksError(t *testing.T) {
+	errBoom := errors.New("boom")
+	err := ForChunks(4, 100, func(lo, hi int) error {
+		if lo <= 50 && 50 < hi {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("got %v, want errBoom", err)
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+
+	"cool/internal/parallel"
+	"cool/internal/stats"
+)
+
+// This file implements the concurrent Monte-Carlo simulation engine.
+//
+// Sharding unit: the replication. One simulated run is a Markov chain
+// over slots — every battery's state at slot t depends on slot t−1 — so
+// slot windows of a single run cannot be sharded without changing the
+// model. Independent replications can, and they are what the paper's
+// Section-V evaluation averages anyway.
+//
+// Determinism contract: replication i always runs with seed
+// ReplicationSeed(cfg.Seed, i), a pure SplitMix-style function of the
+// base seed and the replication index, and per-replication summaries
+// are merged in index order. The result is therefore bit-identical for
+// every worker count, including workers == 1 (the sequential
+// counterpart).
+//
+// Thread-safety: cfg.Policy, cfg.Charging and cfg.Factory are shared by
+// all replications and must be safe for concurrent use. Every
+// implementation in this repository is — policies and charging models
+// only read their configuration, and oracle factories allocate fresh
+// oracles over read-only utility tables.
+
+// ReplicationSeed derives the RNG seed of Monte-Carlo replication i
+// from a base seed. The derivation is stateless (stats.StreamSeed, a
+// splitmix64 finalizer), so any worker can compute any replication's
+// seed without coordination.
+func ReplicationSeed(base uint64, i int) uint64 {
+	return stats.StreamSeed(base, uint64(i))
+}
+
+// Replication is the per-replication summary of a Monte-Carlo run.
+type Replication struct {
+	// Index is the replication number in [0, reps).
+	Index int
+	// Seed is the derived seed the replication ran with.
+	Seed uint64
+	// TotalUtility is Σ_t U(S(t)) for the replication.
+	TotalUtility float64
+	// AverageUtility is the paper's per-slot per-target metric.
+	AverageUtility float64
+	// ActivationsDenied counts vetoed activation requests.
+	ActivationsDenied int
+}
+
+// MonteCarloResult aggregates the replications of one RunParallel call.
+type MonteCarloResult struct {
+	// Replications holds the per-replication summaries in index order.
+	Replications []Replication
+	// AverageUtility summarizes the per-replication average utilities
+	// (mean, std, min, max, median).
+	AverageUtility stats.Summary
+	// TotalUtility summarizes the per-replication total utilities.
+	TotalUtility stats.Summary
+	// ActivationsDenied totals the vetoed activations across all
+	// replications.
+	ActivationsDenied int
+}
+
+// ConfidenceInterval95 returns the half-width of the 95% confidence
+// interval for the mean average utility.
+func (m *MonteCarloResult) ConfidenceInterval95() float64 {
+	xs := make([]float64, len(m.Replications))
+	for i, r := range m.Replications {
+		xs[i] = r.AverageUtility
+	}
+	return stats.ConfidenceInterval95(xs)
+}
+
+// RunParallel executes reps independent Monte-Carlo replications of cfg
+// on up to workers goroutines (0 or negative selects GOMAXPROCS) and
+// merges the per-replication summaries deterministically. Replication i
+// is cfg with Seed = ReplicationSeed(cfg.Seed, i); its summary is
+// identical to what a direct sim.Run of that configuration returns, so
+// RunParallel(cfg, reps, 1) is the sequential counterpart and every
+// worker count produces the same MonteCarloResult.
+func RunParallel(cfg Config, reps, workers int) (*MonteCarloResult, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("sim: non-positive replication count %d", reps)
+	}
+	summaries := make([]Replication, reps)
+	err := parallel.For(workers, reps, func(i int) error {
+		c := cfg // shallow copy: replications share the read-only fields
+		c.Seed = ReplicationSeed(cfg.Seed, i)
+		res, err := Run(c)
+		if err != nil {
+			return fmt.Errorf("sim: replication %d: %w", i, err)
+		}
+		summaries[i] = Replication{
+			Index:             i,
+			Seed:              c.Seed,
+			TotalUtility:      res.TotalUtility,
+			AverageUtility:    res.AverageUtility,
+			ActivationsDenied: res.ActivationsDenied,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	avgs := make([]float64, reps)
+	totals := make([]float64, reps)
+	denied := 0
+	for i, s := range summaries {
+		avgs[i] = s.AverageUtility
+		totals[i] = s.TotalUtility
+		denied += s.ActivationsDenied
+	}
+	avgSummary, err := stats.Summarize(avgs)
+	if err != nil {
+		return nil, err
+	}
+	totalSummary, err := stats.Summarize(totals)
+	if err != nil {
+		return nil, err
+	}
+	return &MonteCarloResult{
+		Replications:      summaries,
+		AverageUtility:    avgSummary,
+		TotalUtility:      totalSummary,
+		ActivationsDenied: denied,
+	}, nil
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"cool/internal/stats"
+	"cool/internal/submodular"
+)
+
+func monteCarloConfig(t *testing.T) Config {
+	t.Helper()
+	const n = 12
+	u := singleTargetUtility(t, n, 0.4)
+	factory := func() submodular.RemovalOracle { return u.Oracle() }
+	period := rhoPeriod(t, 3)
+	sched := greedySchedule(t, n, period, factory)
+	return Config{
+		NumSensors: n,
+		Slots:      40,
+		Policy:     SchedulePolicy{Schedule: sched},
+		Charging: RandomCharging{
+			Period:        period,
+			EventRate:     1,
+			EventDuration: 1,
+		},
+		Factory: factory,
+		Targets: 1,
+		Seed:    99,
+	}
+}
+
+// TestRunParallelDeterministicAcrossWorkers is the simulation-side
+// determinism test: every worker count produces an identical
+// MonteCarloResult, including workers == 1 (the sequential
+// counterpart).
+func TestRunParallelDeterministicAcrossWorkers(t *testing.T) {
+	cfg := monteCarloConfig(t)
+	const reps = 6
+	want, err := RunParallel(cfg, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 0} {
+		got, err := RunParallel(cfg, reps, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: result differs from sequential", w)
+		}
+	}
+}
+
+// TestRunParallelMatchesDirectRuns verifies replication i's summary is
+// exactly what a direct sim.Run of the derived-seed configuration
+// returns.
+func TestRunParallelMatchesDirectRuns(t *testing.T) {
+	cfg := monteCarloConfig(t)
+	const reps = 4
+	mc, err := RunParallel(cfg, reps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Replications) != reps {
+		t.Fatalf("got %d replications, want %d", len(mc.Replications), reps)
+	}
+	for i, rep := range mc.Replications {
+		if rep.Index != i {
+			t.Errorf("replication %d has index %d", i, rep.Index)
+		}
+		wantSeed := ReplicationSeed(cfg.Seed, i)
+		if rep.Seed != wantSeed {
+			t.Errorf("replication %d seed %d, want %d", i, rep.Seed, wantSeed)
+		}
+		c := cfg
+		c.Seed = wantSeed
+		direct, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalUtility != direct.TotalUtility ||
+			rep.AverageUtility != direct.AverageUtility ||
+			rep.ActivationsDenied != direct.ActivationsDenied {
+			t.Errorf("replication %d summary %+v differs from direct run", i, rep)
+		}
+	}
+}
+
+func TestRunParallelSummaryAggregation(t *testing.T) {
+	cfg := monteCarloConfig(t)
+	mc, err := RunParallel(cfg, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.AverageUtility.N != 5 || mc.TotalUtility.N != 5 {
+		t.Errorf("summary N = %d/%d, want 5", mc.AverageUtility.N, mc.TotalUtility.N)
+	}
+	if mc.AverageUtility.Min > mc.AverageUtility.Mean ||
+		mc.AverageUtility.Mean > mc.AverageUtility.Max {
+		t.Errorf("inconsistent summary %+v", mc.AverageUtility)
+	}
+	if ci := mc.ConfidenceInterval95(); ci < 0 {
+		t.Errorf("negative confidence interval %v", ci)
+	}
+	denied := 0
+	for _, r := range mc.Replications {
+		denied += r.ActivationsDenied
+	}
+	if denied != mc.ActivationsDenied {
+		t.Errorf("denied total %d, sum of replications %d", mc.ActivationsDenied, denied)
+	}
+}
+
+func TestRunParallelRejectsBadInput(t *testing.T) {
+	cfg := monteCarloConfig(t)
+	if _, err := RunParallel(cfg, 0, 2); err == nil {
+		t.Error("zero replications accepted")
+	}
+	bad := cfg
+	bad.NumSensors = 0
+	if _, err := RunParallel(bad, 3, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestReplicationSeedIsStatelessStream(t *testing.T) {
+	const base = 12345
+	seen := make(map[uint64]int)
+	for i := 0; i < 64; i++ {
+		s := ReplicationSeed(base, i)
+		if s != stats.StreamSeed(base, uint64(i)) {
+			t.Fatalf("ReplicationSeed(%d,%d) != stats.StreamSeed", base, i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between replications %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+}

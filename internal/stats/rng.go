@@ -28,13 +28,42 @@ func NewRNG(seed uint64) *RNG {
 	// yield decorrelated streams.
 	s := seed
 	for i := range r.s {
-		s += 0x9e3779b97f4a7c15
-		z := s
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		s += splitMixGamma
+		r.s[i] = SplitMix64(s)
 	}
 	return r
+}
+
+// splitMixGamma is the golden-ratio increment of the splitmix64
+// sequence.
+const splitMixGamma = 0x9e3779b97f4a7c15
+
+// SplitMix64 applies the splitmix64 finalizer (Steele, Lea & Flood) to
+// x: a cheap bijective mixer whose outputs over any sequence of distinct
+// inputs are statistically independent. It is the repository's standard
+// way to derive decorrelated per-shard seeds from (base seed, shard
+// index) pairs without sequential state.
+func SplitMix64(x uint64) uint64 {
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// StreamSeed derives the seed of independent stream i from a base seed,
+// SplitMix-style: each (seed, stream) pair maps to a decorrelated value
+// that depends only on its inputs, so concurrent workers can compute
+// their streams without coordination and in any order.
+func StreamSeed(seed, stream uint64) uint64 {
+	return SplitMix64(seed + (stream+1)*splitMixGamma)
+}
+
+// NewStream returns a generator for independent stream i of a base
+// seed. Unlike Split, which advances the parent generator, NewStream is
+// a pure function of (seed, stream) — workers sharded by index obtain
+// identical streams no matter how many of them run or in what order.
+func NewStream(seed, stream uint64) *RNG {
+	return NewRNG(StreamSeed(seed, stream))
 }
 
 // Split derives a new, statistically independent generator from r. It is

@@ -215,6 +215,11 @@ func (o *CoverageOracle) Remove(v int) {
 	}
 }
 
+// ConcurrentReadSafe reports that Value/Gain/Loss/Contains are pure
+// reads over the oracle's coverage counters and may run from many
+// goroutines concurrently (absent a concurrent Add/Remove).
+func (o *CoverageOracle) ConcurrentReadSafe() bool { return true }
+
 // Clone implements Oracle.
 func (o *CoverageOracle) Clone() Oracle {
 	return &CoverageOracle{

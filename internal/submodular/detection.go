@@ -259,6 +259,11 @@ func (o *DetectionOracle) Remove(v int) {
 	}
 }
 
+// ConcurrentReadSafe reports that Value/Gain/Loss/Contains are pure
+// reads over the oracle's survival-product state and may run from many
+// goroutines concurrently (absent a concurrent Add/Remove).
+func (o *DetectionOracle) ConcurrentReadSafe() bool { return true }
+
 // Clone implements Oracle.
 func (o *DetectionOracle) Clone() Oracle {
 	c := &DetectionOracle{

@@ -104,6 +104,11 @@ func (o *LogSumOracle) Remove(v int) {
 	o.sum -= o.u.sizes[v]
 }
 
+// ConcurrentReadSafe reports that Value/Gain/Loss/Contains are pure
+// reads over the oracle's running sum and may run from many goroutines
+// concurrently (absent a concurrent Add/Remove).
+func (o *LogSumOracle) ConcurrentReadSafe() bool { return true }
+
 // Clone implements Oracle.
 func (o *LogSumOracle) Clone() Oracle {
 	return &LogSumOracle{u: o.u, in: append([]bool(nil), o.in...), sum: o.sum}

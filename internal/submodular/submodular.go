@@ -27,6 +27,15 @@ type Function interface {
 
 // Oracle is an incremental evaluator of a submodular function for one
 // growing set. A fresh oracle represents the empty set.
+//
+// Concurrency contract: the read-only queries (Value, Gain, Loss,
+// Contains) must not mutate oracle state. Implementations additionally
+// advertise via ConcurrentReadSafe whether those queries may run from
+// multiple goroutines at once; every oracle in this package does. The
+// mutators (Add, Remove) are never safe to interleave with any other
+// call — the parallel scheduling engine serializes them between its
+// sharded read phases, and falls back to Clone-based per-worker oracle
+// replicas for implementations that do not advertise read-safety.
 type Oracle interface {
 	// Value returns U(S) for the current set S.
 	Value() float64
@@ -54,10 +63,34 @@ type RemovalOracle interface {
 	Remove(v int)
 }
 
+// ConcurrentReadSafe is implemented by oracles whose read-only queries
+// (Value, Gain, Loss, Contains) are safe to call concurrently from
+// multiple goroutines, provided no Add or Remove runs at the same time.
+// The parallel scheduling engine shares one oracle per slot across all
+// workers when the factory's oracles advertise read-safety, and
+// otherwise gives each worker its own Clone()-derived replica set.
+type ConcurrentReadSafe interface {
+	// ConcurrentReadSafe reports whether concurrent read-only queries
+	// are safe on this oracle.
+	ConcurrentReadSafe() bool
+}
+
+// ReadsAreConcurrentSafe reports whether o advertises the concurrent
+// read-safety contract.
+func ReadsAreConcurrentSafe(o Oracle) bool {
+	c, ok := o.(ConcurrentReadSafe)
+	return ok && c.ConcurrentReadSafe()
+}
+
 // EvalOracle builds an oracle for an arbitrary Function by re-evaluating
 // it on every query. It is the correctness yardstick the specialized
 // oracles are tested against, and the fallback for user-supplied
 // functions without an incremental form.
+//
+// EvalOracle deliberately does not implement ConcurrentReadSafe: it
+// cannot vouch for the wrapped Function's Eval being safe under
+// concurrent calls, so the parallel engine falls back to Clone-based
+// per-worker replicas for it.
 type EvalOracle struct {
 	fn  Function
 	set map[int]bool

@@ -61,6 +61,22 @@ func (p *Planner) LazyGreedy() (*Schedule, error) {
 	return core.LazyGreedy(p.inst)
 }
 
+// ParallelGreedy computes a schedule bit-identical to Greedy's with the
+// marginal-gain scans sharded across up to workers goroutines (0 or
+// negative selects runtime.GOMAXPROCS). The utility's oracles must be
+// safe for concurrent read-only queries or support Clone; every utility
+// constructed by this package qualifies.
+func (p *Planner) ParallelGreedy(workers int) (*Schedule, error) {
+	return core.ParallelGreedy(p.inst, workers)
+}
+
+// ParallelLazyGreedy computes a schedule bit-identical to LazyGreedy's
+// with the initial marginal evaluation sharded across up to workers
+// goroutines.
+func (p *Planner) ParallelLazyGreedy(workers int) (*Schedule, error) {
+	return core.ParallelLazyGreedy(p.inst, workers)
+}
+
 // Exact computes an optimal schedule by branch and bound. maxNodes
 // bounds the search (0 = default); instances beyond ~12 sensors are
 // rejected as too large.

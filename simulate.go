@@ -57,6 +57,27 @@ func Simulate(p *Planner, s *Schedule, slots, targets int, seed uint64) (*SimRes
 // RunSimulation executes an arbitrary simulation configuration.
 func RunSimulation(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
+// Monte-Carlo re-exports: the concurrent replication engine.
+type (
+	// MonteCarloResult aggregates a batch of independent replications.
+	MonteCarloResult = sim.MonteCarloResult
+	// Replication is one replication's summary.
+	Replication = sim.Replication
+)
+
+// RunMonteCarlo executes reps independent replications of cfg on up to
+// workers goroutines (0 or negative selects runtime.GOMAXPROCS) and
+// merges their summaries deterministically: the result is identical for
+// every worker count. Replication i runs with the derived seed
+// ReplicationSeed(cfg.Seed, i).
+func RunMonteCarlo(cfg SimConfig, reps, workers int) (*MonteCarloResult, error) {
+	return sim.RunParallel(cfg, reps, workers)
+}
+
+// ReplicationSeed derives the seed of Monte-Carlo replication i from a
+// base seed, independent of worker count and scheduling order.
+func ReplicationSeed(base uint64, i int) uint64 { return sim.ReplicationSeed(base, i) }
+
 // Solar / trace re-exports: the simulated measurement substrate.
 type (
 	// Weather is a day-scale weather class.
