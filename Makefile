@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem figures examples fuzz clean
 
 all: build vet test
 
@@ -31,6 +31,14 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkGreedyParallel|BenchmarkSimParallel' -benchmem .
 	$(GO) run ./cmd/coolbench -fig parallel
+
+# Memory-layout smoke pass: vet, then the oracle hot-path benchmarks
+# with allocation reporting (the flat layout's Gain/Loss/Bulk paths must
+# report 0 allocs/op), then the quick old-vs-new layout comparison.
+bench-mem:
+	$(GO) vet ./...
+	$(GO) test -run xxx -bench 'Oracle|Gain' -benchmem -benchtime 100x ./internal/submodular/
+	$(GO) run ./cmd/coolbench -fig memlayout -quick
 
 # Regenerate every paper figure and ablation into results/.
 figures:

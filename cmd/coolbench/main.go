@@ -31,18 +31,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("coolbench", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|all")
+		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|all")
 		outDir  = fs.String("out", "", "directory for CSV output (omit to skip CSV)")
 		quick   = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		chart   = fs.Bool("chart", false, "also render ASCII charts")
 		seed    = fs.Uint64("seed", 1, "random seed")
-		workers = fs.Int("workers", 0, "worker goroutines for parallel sweeps (<=0 selects GOMAXPROCS)")
+		workers = fs.Int("workers", 0, "worker goroutines for parallel sweeps (<=0 selects NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	figs, bench, err := collect(*fig, *quick, *seed, *workers)
+	figs, benches, err := collect(*fig, *quick, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -62,15 +62,15 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	if bench != nil {
-		path := "BENCH_parallel.json"
+	for _, b := range benches {
+		path := fmt.Sprintf("BENCH_%s.json", b.name)
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				return err
 			}
 			path = filepath.Join(*outDir, path)
 		}
-		data, err := json.MarshalIndent(bench, "", "  ")
+		data, err := json.MarshalIndent(b.data, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -82,9 +82,16 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func collect(which string, quick bool, seed uint64, workers int) ([]*experiments.Figure, *experiments.ParallelBenchResult, error) {
+// benchOutput pairs a machine-readable benchmark result with the file
+// stem it is persisted under (BENCH_<name>.json).
+type benchOutput struct {
+	name string
+	data any
+}
+
+func collect(which string, quick bool, seed uint64, workers int) ([]*experiments.Figure, []benchOutput, error) {
 	var out []*experiments.Figure
-	var bench *experiments.ParallelBenchResult
+	var benches []benchOutput
 	add := func(f *experiments.Figure, err error) error {
 		if err != nil {
 			return err
@@ -193,12 +200,25 @@ func collect(which string, quick bool, seed uint64, workers int) ([]*experiments
 			return nil, nil, err
 		}
 		out = append(out, f)
-		bench = res
+		benches = append(benches, benchOutput{name: "parallel", data: res})
+	}
+	if want("memlayout") {
+		cfg := experiments.MemLayoutConfig{Seed: seed, Workers: workers}
+		if quick {
+			cfg.Sizes = []int{240, 480}
+			cfg.Iters = 1
+		}
+		f, res, err := experiments.MemLayoutBench(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, f)
+		benches = append(benches, benchOutput{name: "memlayout", data: res})
 	}
 	if len(out) == 0 {
-		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|all)", which)
+		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|all)", which)
 	}
-	return out, bench, nil
+	return out, benches, nil
 }
 
 func writeCSV(dir string, f *experiments.Figure) error {

@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) error {
 		schedFile = fs.String("schedule", "", "load a JSON schedule (from coolsched -save) instead of computing one")
 		loop      = fs.Bool("loop", false, "closed-loop mode: Markov weather, per-day pattern estimation and re-planning")
 		reps      = fs.Int("reps", 1, "Monte-Carlo replications (>1 reports a mean with a 95% CI)")
-		workers   = fs.Int("workers", 0, "worker goroutines for planning and Monte-Carlo runs (<=0 selects GOMAXPROCS)")
+		workers   = fs.Int("workers", 0, "worker goroutines for planning and Monte-Carlo runs (<=0 selects NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -154,8 +154,8 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		avg := mc.AverageUtility
-		fmt.Fprintf(out, "simulated %d days (%d slots) x %d replications, policy=%s charging=%s\n",
-			*days, cfg.Slots, *reps, *policy, *charging)
+		fmt.Fprintf(out, "simulated %d days (%d slots) x %d replications, policy=%s charging=%s workers=%d\n",
+			*days, cfg.Slots, *reps, *policy, *charging, cool.ResolveWorkers(*workers))
 		fmt.Fprintf(out, "average utility per target per slot: %.6f ± %.6f (95%% CI)\n",
 			avg.Mean, mc.ConfidenceInterval95())
 		fmt.Fprintf(out, "  std %.6f  min %.6f  median %.6f  max %.6f\n",

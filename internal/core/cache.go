@@ -31,6 +31,12 @@ func newMarginCache(n, T int) *marginCache {
 // at returns the cached marginal of (v, t).
 func (c *marginCache) at(v, t int) float64 { return c.vals[t*c.n+v] }
 
+// column returns slot t's whole cache column as a mutable slice — the
+// buffer the bulk marginal fast path (submodular.BulkGainer /
+// BulkLosser) writes into directly. Bulk fills overwrite the entries of
+// assigned sensors too; that is harmless because every scan skips them.
+func (c *marginCache) column(t int) []float64 { return c.vals[t*c.n : (t+1)*c.n] }
+
 // fillSlot recomputes slot t's column for the still-unassigned sensors
 // in [lo, hi) using eval (an oracle's Gain or Loss method). Entries of
 // assigned sensors are left stale; every scan skips them.
@@ -86,6 +92,91 @@ func (c *marginCache) argminRange(lo, hi int, assign []int) candidate {
 				best = candidate{v: v, t: t, value: l}
 				found = true
 			}
+		}
+	}
+	return best
+}
+
+// argmaxColumn returns slot t's best candidate among the sensors in
+// pending — the engine's compacted, ascending list of still-unassigned
+// sensors — with a strict > comparison (ties to the lowest v). Because
+// pending preserves ascending sensor order, the scan visits exactly the
+// sensors the full 0..n loop would have visited, in the same order,
+// minus the assigned ones it would have skipped; the result is
+// therefore identical while the per-sensor assigned-check branch and
+// the dead iterations disappear from the hot loop. It is the
+// per-column piece of the sequential engine's incremental selection:
+// the engine keeps one such candidate per slot and only rescans the
+// columns a greedy step can actually change.
+func (c *marginCache) argmaxColumn(t int, pending []int) candidate {
+	best := candidate{v: -1, t: -1, value: -1}
+	col := c.column(t)
+	for _, v := range pending {
+		if g := col[v]; g > best.value {
+			best = candidate{v: v, t: t, value: g}
+		}
+	}
+	return best
+}
+
+// argminColumn is the removal-mode dual of argmaxColumn.
+func (c *marginCache) argminColumn(t int, pending []int) candidate {
+	best := candidate{v: -1, t: -1}
+	found := false
+	col := c.column(t)
+	for _, v := range pending {
+		if l := col[v]; !found || l < best.value {
+			best = candidate{v: v, t: t, value: l}
+			found = true
+		}
+	}
+	return best
+}
+
+// dropPending removes sensor v from the ascending pending list in
+// place, returning the shortened slice. Order is preserved, so later
+// column scans keep the exact tie-break order of the full loop.
+func dropPending(pending []int, v int) []int {
+	for i, p := range pending {
+		if p == v {
+			return append(pending[:i], pending[i+1:]...)
+		}
+	}
+	return pending
+}
+
+// bestOfColumnsMax merges per-column argmax candidates into the global
+// best with the full lexicographic tie-break of a single (v-major,
+// t-minor) scan: maximum value, ties to the lowest sensor, then to the
+// lowest slot. Each per-column candidate already carries the lowest v
+// of its column's maxima, so comparing (value, v) across columns in
+// ascending t order — replacing only on strictly greater value or on
+// equal value with strictly lower v — reproduces the global scan's
+// choice exactly.
+func bestOfColumnsMax(cols []candidate) candidate {
+	best := candidate{v: -1, t: -1, value: -1}
+	for _, c := range cols {
+		if c.v < 0 {
+			continue
+		}
+		if c.value > best.value || (c.value == best.value && c.v < best.v) {
+			best = c
+		}
+	}
+	return best
+}
+
+// bestOfColumnsMin is the removal-mode dual of bestOfColumnsMax.
+func bestOfColumnsMin(cols []candidate) candidate {
+	best := candidate{v: -1, t: -1}
+	found := false
+	for _, c := range cols {
+		if c.v < 0 {
+			continue
+		}
+		if !found || c.value < best.value || (c.value == best.value && c.v < best.v) {
+			best = c
+			found = true
 		}
 	}
 	return best

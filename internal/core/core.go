@@ -100,6 +100,13 @@ type Schedule struct {
 	slots [][]int
 }
 
+// MaxPeriod bounds the number of slots in one period. Physical
+// recharge/discharge ratios give periods of at most a few dozen slots;
+// the bound exists so that a malformed or hostile serialized schedule
+// (period is attacker-controlled JSON) cannot drive the O(period) slot
+// cache into a huge or overflowing allocation.
+const MaxPeriod = 1 << 20
+
 // NewSchedule builds a schedule from an explicit assignment vector.
 // Callers normally obtain schedules from the solvers instead.
 func NewSchedule(mode Mode, period int, assign []int) (*Schedule, error) {
@@ -108,6 +115,9 @@ func NewSchedule(mode Mode, period int, assign []int) (*Schedule, error) {
 	}
 	if period <= 0 {
 		return nil, fmt.Errorf("core: non-positive period %d", period)
+	}
+	if period > MaxPeriod {
+		return nil, fmt.Errorf("core: period %d exceeds MaxPeriod %d", period, MaxPeriod)
 	}
 	for v, t := range assign {
 		if t < -1 || t >= period {

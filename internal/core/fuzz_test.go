@@ -14,6 +14,20 @@ func FuzzScheduleJSON(f *testing.F) {
 	f.Add([]byte(`{"mode":"placement","period":0,"assign":[]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"mode":"placement","period":2,"assign":[9]}`))
+	// Corpus extension for the flat-layout PR: decoded schedules now feed
+	// oracles whose membership is a fixed-universe bitset, so seeds probe
+	// the boundary indices that bitset word math cares about (64-aligned
+	// sensor counts, last-word tails, duplicate and descending slots).
+	f.Add([]byte(`{"mode":"removal","period":1,"assign":[0]}`))
+	f.Add([]byte(`{"mode":"placement","period":64,"assign":[63,0,63]}`))
+	f.Add([]byte(`{"mode":"placement","period":3,"assign":[2,2,2,2]}`))
+	f.Add([]byte(`{"mode":"removal","period":8,"assign":[7,6,5,4,3,2,1,0]}`))
+	f.Add([]byte(`{"mode":"placement","period":2,"assign":[-1,-5,1]}`))
+	f.Add([]byte(`{"mode":"removal","period":4,"assign":[3,null,1]}`))
+	f.Add([]byte(`{"mode":"PLACEMENT","period":2,"assign":[0,1]}`))
+	f.Add([]byte(`{"mode":"placement","period":9007199254740993,"assign":[0]}`))
+	f.Add([]byte(`{"mode":"placement","period":2,"assign":[0,1],"assign":[1,0]}`))
+	f.Add([]byte(`[]`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var s Schedule
 		if err := json.Unmarshal(data, &s); err != nil {
@@ -43,6 +57,10 @@ func FuzzSubsetSumGadget(f *testing.F) {
 	f.Add(int64(1), int64(2), int64(3))
 	f.Add(int64(0), int64(5), int64(5))
 	f.Add(int64(-7), int64(1), int64(1))
+	f.Add(int64(1), int64(1), int64(1))
+	f.Add(int64(1<<62), int64(1<<62), int64(2))
+	f.Add(int64(9223372036854775807), int64(1), int64(1))
+	f.Add(int64(3), int64(5), int64(7))
 	f.Fuzz(func(t *testing.T, a, b, c int64) {
 		g, err := NewSubsetSumGadget([]int64{a, b, c})
 		if err != nil {

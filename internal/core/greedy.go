@@ -24,11 +24,19 @@ func Greedy(in Instance) (*Schedule, error) {
 
 // greedyPlacement is Algorithm 1: repeatedly assign the (sensor, slot)
 // pair with the maximum incremental utility until every sensor is
-// scheduled. It carries a dirty-slot marginal cache (see marginCache):
-// after a step only the slot that received the Add has stale gains, so
-// each step costs O(n) oracle calls plus an O(n·T) array scan instead
-// of the O(n·T) oracle calls of the seed's ReferenceGreedy. The chosen
-// schedule is bit-identical to the uncached scan.
+// scheduled. It carries a dirty-slot marginal cache (see marginCache)
+// plus one cached best candidate per slot: after a step only the slot
+// that received the Add has stale gains, so each step refreshes one
+// column (a single bulk sweep when the oracle supports it) and rescans
+// only the columns the step could have changed — the dirty column, and
+// any column whose cached best was the just-assigned sensor. Removing a
+// sensor that is *not* a column's recorded argmax can never change that
+// column's strict-scan result (an equal-valued lower-v sensor would
+// have been recorded instead), so untouched candidates stay exact and
+// the schedule remains bit-identical to the seed's eager O(n·T) scan.
+// Column rescans iterate a compacted ascending list of unassigned
+// sensors (see argmaxColumn) rather than all n with a skip branch;
+// the visit order is unchanged, only dead work is removed.
 func greedyPlacement(in Instance) (*Schedule, error) {
 	T := in.Period.Slots()
 	oracles := make([]submodular.RemovalOracle, T)
@@ -36,27 +44,61 @@ func greedyPlacement(in Instance) (*Schedule, error) {
 		oracles[t] = in.Factory()
 	}
 	assign := newAssignment(in.N)
+	pending := newPending(in.N)
 	cache := newMarginCache(in.N, T)
+	colBest := make([]candidate, T)
 	for t := 0; t < T; t++ {
-		cache.fillSlot(t, 0, in.N, assign, oracles[t].Gain)
+		fillColumn(cache, t, oracles[t], assign, false)
+		colBest[t] = cache.argmaxColumn(t, pending)
 	}
 	for step := 0; step < in.N; step++ {
-		best := cache.argmaxRange(0, in.N, assign)
+		best := bestOfColumnsMax(colBest)
 		if best.v < 0 {
 			return nil, fmt.Errorf("core: greedy found no candidate at step %d", step)
 		}
 		oracles[best.t].Add(best.v)
 		assign[best.v] = best.t
+		pending = dropPending(pending, best.v)
 		// Dirty-slot refresh: only best.t's oracle changed.
-		cache.fillSlot(best.t, 0, in.N, assign, oracles[best.t].Gain)
+		fillColumn(cache, best.t, oracles[best.t], assign, false)
+		colBest[best.t] = cache.argmaxColumn(best.t, pending)
+		for t := 0; t < T; t++ {
+			if t != best.t && colBest[t].v == best.v {
+				colBest[t] = cache.argmaxColumn(t, pending)
+			}
+		}
 	}
 	return NewSchedule(ModePlacement, T, assign)
 }
 
+// fillColumn refreshes slot t's cache column from its oracle. When the
+// oracle provides the one-pass bulk marginal (submodular.BulkGainer /
+// BulkLosser) the whole column is written by a single target-major CSR
+// sweep; otherwise it falls back to per-sensor Gain/Loss queries. The
+// bulk contract guarantees bit-identical columns on both paths, so
+// engine determinism — including parallel-vs-sequential equality, where
+// the sharded workers use the per-sensor path — is unaffected.
+func fillColumn(cache *marginCache, t int, o submodular.RemovalOracle, assign []int, removal bool) {
+	if removal {
+		if b, ok := o.(submodular.BulkLosser); ok {
+			b.BulkLoss(cache.column(t))
+			return
+		}
+		cache.fillSlot(t, 0, cache.n, assign, o.Loss)
+		return
+	}
+	if b, ok := o.(submodular.BulkGainer); ok {
+		b.BulkGain(cache.column(t))
+		return
+	}
+	cache.fillSlot(t, 0, cache.n, assign, o.Gain)
+}
+
 // greedyRemoval is the ρ ≤ 1 scheme: start from "every sensor active in
 // every slot" and, sensor by sensor, choose the passive slot whose
-// removal loses the least utility. It uses the same dirty-slot cache as
-// greedyPlacement on the loss side.
+// removal loses the least utility. It uses the same dirty-slot cache
+// and per-column candidate tracking as greedyPlacement, on the loss
+// side.
 func greedyRemoval(in Instance) (*Schedule, error) {
 	T := in.Period.Slots()
 	oracles := make([]submodular.RemovalOracle, T)
@@ -68,18 +110,28 @@ func greedyRemoval(in Instance) (*Schedule, error) {
 		oracles[t] = o
 	}
 	assign := newAssignment(in.N)
+	pending := newPending(in.N)
 	cache := newMarginCache(in.N, T)
+	colBest := make([]candidate, T)
 	for t := 0; t < T; t++ {
-		cache.fillSlot(t, 0, in.N, assign, oracles[t].Loss)
+		fillColumn(cache, t, oracles[t], assign, true)
+		colBest[t] = cache.argminColumn(t, pending)
 	}
 	for step := 0; step < in.N; step++ {
-		best := cache.argminRange(0, in.N, assign)
+		best := bestOfColumnsMin(colBest)
 		if best.v < 0 {
 			return nil, fmt.Errorf("core: removal greedy found no candidate at step %d", step)
 		}
 		oracles[best.t].Remove(best.v)
 		assign[best.v] = best.t
-		cache.fillSlot(best.t, 0, in.N, assign, oracles[best.t].Loss)
+		pending = dropPending(pending, best.v)
+		fillColumn(cache, best.t, oracles[best.t], assign, true)
+		colBest[best.t] = cache.argminColumn(best.t, pending)
+		for t := 0; t < T; t++ {
+			if t != best.t && colBest[t].v == best.v {
+				colBest[t] = cache.argminColumn(t, pending)
+			}
+		}
 	}
 	return NewSchedule(ModeRemoval, T, assign)
 }
@@ -91,6 +143,17 @@ func newAssignment(n int) []int {
 		assign[v] = -1
 	}
 	return assign
+}
+
+// newPending returns the ascending list of all n sensors — the
+// sequential engines' compacted work list, shrunk by dropPending as
+// sensors are scheduled so column rescans touch only live candidates.
+func newPending(n int) []int {
+	pending := make([]int, n)
+	for v := range pending {
+		pending[v] = v
+	}
+	return pending
 }
 
 // ReferenceGreedy computes the same schedule as Greedy with the seed's
@@ -235,14 +298,51 @@ func LazyGreedyRemoval(in Instance) (*Schedule, error) {
 		oracles[t] = o
 	}
 	assign := newAssignment(in.N)
+	return runLazyRemoval(oracles, lossHeap(lazyFill(oracles, in.N, T, true)), assign, in.N, T)
+}
 
-	h := make(lossHeap, 0, in.N*T)
-	for v := 0; v < in.N; v++ {
-		for t := 0; t < T; t++ {
-			h = append(h, gainEntry{v: v, t: t, gain: oracles[t].Loss(v), stamp: 0})
+// lazyFill evaluates the initial (sensor, slot) marginals for the lazy
+// engines, laid out v-major (index v*T + t) like the sequential loop it
+// replaces. Slots whose oracles provide bulk marginals are filled by a
+// single sweep into a scratch column; the floats are bit-identical to
+// per-element queries (the Bulk contract), and since every entry's
+// (gain, v, t) key is unique the CELF heap pops in the same order
+// regardless of how the initial slice was produced.
+func lazyFill(oracles []submodular.RemovalOracle, n, T int, removal bool) []gainEntry {
+	entries := make([]gainEntry, n*T)
+	var col []float64
+	for t := 0; t < T; t++ {
+		var bulk func([]float64)
+		if removal {
+			if b, ok := oracles[t].(submodular.BulkLosser); ok {
+				bulk = b.BulkLoss
+			}
+		} else {
+			if b, ok := oracles[t].(submodular.BulkGainer); ok {
+				bulk = b.BulkGain
+			}
+		}
+		if bulk != nil {
+			if col == nil {
+				col = make([]float64, n)
+			}
+			bulk(col)
+			for v := 0; v < n; v++ {
+				entries[v*T+t] = gainEntry{v: v, t: t, gain: col[v], stamp: 0}
+			}
+			continue
+		}
+		for v := 0; v < n; v++ {
+			var m float64
+			if removal {
+				m = oracles[t].Loss(v)
+			} else {
+				m = oracles[t].Gain(v)
+			}
+			entries[v*T+t] = gainEntry{v: v, t: t, gain: m, stamp: 0}
 		}
 	}
-	return runLazyRemoval(oracles, h, assign, in.N, T)
+	return entries
 }
 
 // runLazyRemoval executes the loss-side CELF loop over a pre-filled
@@ -321,14 +421,7 @@ func LazyGreedy(in Instance) (*Schedule, error) {
 		oracles[t] = in.Factory()
 	}
 	assign := newAssignment(in.N)
-
-	h := make(gainHeap, 0, in.N*T)
-	for v := 0; v < in.N; v++ {
-		for t := 0; t < T; t++ {
-			h = append(h, gainEntry{v: v, t: t, gain: oracles[t].Gain(v), stamp: 0})
-		}
-	}
-	return runLazyPlacement(oracles, h, assign, in.N, T)
+	return runLazyPlacement(oracles, gainHeap(lazyFill(oracles, in.N, T, false)), assign, in.N, T)
 }
 
 // runLazyPlacement executes the CELF loop over a pre-filled

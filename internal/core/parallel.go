@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"cool/internal/parallel"
 	"cool/internal/submodular"
@@ -37,7 +38,7 @@ import (
 
 // ParallelGreedy computes the paper's greedy schedule with the gain
 // scan sharded across workers goroutines (0 or negative selects
-// runtime.GOMAXPROCS). The returned schedule is bit-identical to
+// runtime.NumCPU). The returned schedule is bit-identical to
 // Greedy's for every worker count; see the determinism contract above.
 func ParallelGreedy(in Instance, workers int) (*Schedule, error) {
 	if err := in.Validate(); err != nil {
@@ -92,6 +93,71 @@ type oracleShards struct {
 	shared bool
 }
 
+// replicaPool recycles the Clone()-derived per-worker oracle replica
+// sets of the non-read-safe fallback path across parallel runs. A
+// replica set is only a scratch copy of the base oracles' state, so
+// once a run finishes it can be handed to the next run and overwritten
+// in place via submodular.StateCopier — no fresh membership sets, no
+// fresh per-target arrays. Compatibility (same concrete oracle type,
+// same underlying utility, same ground size) is re-verified element by
+// element on every acquire; incompatible pooled sets are simply
+// dropped, so correctness never depends on what the pool happens to
+// hold.
+var replicaPool sync.Pool
+
+type pooledReplicaSet struct {
+	oracles []submodular.RemovalOracle
+}
+
+// acquireReplicaSet returns an oracle set mirroring base's current
+// state for one worker: a pooled set adopted in place when compatible,
+// fresh clones otherwise.
+func acquireReplicaSet(base []submodular.RemovalOracle) ([]submodular.RemovalOracle, error) {
+	if p, ok := replicaPool.Get().(*pooledReplicaSet); ok && adoptReplicaSet(p.oracles, base) {
+		return p.oracles, nil
+	}
+	replica := make([]submodular.RemovalOracle, len(base))
+	for t, o := range base {
+		c, ok := o.Clone().(submodular.RemovalOracle)
+		if !ok {
+			return nil, fmt.Errorf("core: oracle %T clones to a non-removal oracle", o)
+		}
+		replica[t] = c
+	}
+	return replica, nil
+}
+
+// adoptReplicaSet overwrites dst's oracle states with base's via the
+// StateCopier contract, reporting whether every slot succeeded. On
+// false the set must be discarded (some slots may hold partial state).
+func adoptReplicaSet(dst, base []submodular.RemovalOracle) bool {
+	if len(dst) != len(base) {
+		return false
+	}
+	for t, o := range base {
+		sc, ok := dst[t].(submodular.StateCopier)
+		if !ok || !sc.CopyStateFrom(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// release returns the per-worker replica sets to the pool. It must only
+// be called once no goroutine references the replicas anymore (the end
+// of a parallel run). Shared shards own no replicas and release nothing.
+func (s *oracleShards) release() {
+	if s.shared {
+		return
+	}
+	for w := 1; w < len(s.sets); w++ {
+		if s.sets[w] != nil {
+			replicaPool.Put(&pooledReplicaSet{oracles: s.sets[w]})
+			s.sets[w] = nil
+		}
+	}
+}
+
 // buildShards constructs the per-worker oracle sets for an instance.
 // full selects removal-mode initialization (every sensor active in
 // every slot).
@@ -120,13 +186,9 @@ func buildShards(in Instance, workers int, full bool) (*oracleShards, error) {
 			s.sets[w] = base
 			continue
 		}
-		replica := make([]submodular.RemovalOracle, T)
-		for t, o := range base {
-			c, ok := o.Clone().(submodular.RemovalOracle)
-			if !ok {
-				return nil, fmt.Errorf("core: oracle %T clones to a non-removal oracle", o)
-			}
-			replica[t] = c
+		replica, err := acquireReplicaSet(base)
+		if err != nil {
+			return nil, err
 		}
 		s.sets[w] = replica
 	}
@@ -166,6 +228,7 @@ func parallelClimb(in Instance, workers int, removal bool) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer shards.release()
 	assign := newAssignment(n)
 	cache := newMarginCache(n, T)
 	bounds := chunkBounds(n, workers)
@@ -281,6 +344,7 @@ func parallelLazyPlacement(in Instance, workers int) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer shards.release()
 	entries, err := parallelLazyFill(in, workers, shards, false)
 	if err != nil {
 		return nil, err
@@ -293,6 +357,7 @@ func parallelLazyRemoval(in Instance, workers int) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer shards.release()
 	entries, err := parallelLazyFill(in, workers, shards, true)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"cool/internal/submodular"
+)
+
+// This file pins the replica-pool contract of the parallel fallback
+// path: recycling Clone()-derived oracle sets through the sync.Pool
+// must never change a schedule, and incompatible pooled sets must be
+// refused rather than adopted.
+
+// evalInstance builds a non-read-safe instance (EvalOracle factory)
+// so ParallelGreedy is forced onto the replica path.
+func evalInstance(t *testing.T, sizes []float64, rho float64) Instance {
+	t.Helper()
+	fn, err := submodular.NewLogSumUtility(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instance{
+		N:       len(sizes),
+		Period:  period(t, rho),
+		Factory: func() submodular.RemovalOracle { return submodular.NewEvalOracle(fn) },
+	}
+	if submodular.ReadsAreConcurrentSafe(in.Factory()) {
+		t.Fatal("EvalOracle advertises read-safety; replica pool untested")
+	}
+	return in
+}
+
+// TestReplicaPoolDeterminism runs the replica-path parallel greedy
+// repeatedly on the same instance. The first run seeds the pool, later
+// runs adopt recycled replica sets via CopyStateFrom — every run must
+// still return the bit-identical sequential schedule.
+func TestReplicaPoolDeterminism(t *testing.T) {
+	sizes := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8}
+	for _, rho := range []float64{3, 0.5} {
+		in := evalInstance(t, sizes, rho)
+		want, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 4; run++ {
+			got, err := ParallelGreedy(in, 3)
+			if err != nil {
+				t.Fatalf("rho=%v run %d: %v", rho, run, err)
+			}
+			assertSameSchedule(t, "pooled replica run", want, got)
+		}
+	}
+}
+
+// TestReplicaPoolCrossInstanceSafety interleaves replica-path runs on
+// two structurally different instances. Pooled sets from one instance
+// are incompatible with the other (different utility, different ground
+// size), so adoption must be refused and fresh clones built — the
+// schedules stay correct regardless of what the pool holds.
+func TestReplicaPoolCrossInstanceSafety(t *testing.T) {
+	a := evalInstance(t, []float64{3, 1, 4, 1, 5, 9, 2, 6}, 3)
+	b := evalInstance(t, []float64{2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9}, 0.5)
+	wantA, err := Greedy(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := Greedy(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		gotA, err := ParallelGreedy(a, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSchedule(t, "instance A after pool pollution", wantA, gotA)
+		gotB, err := ParallelGreedy(b, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSchedule(t, "instance B after pool pollution", wantB, gotB)
+	}
+}
+
+// TestAcquireReplicaSetAdoption unit-tests the acquire/adopt/release
+// cycle directly: a released set is adopted by the next acquire and
+// mirrors the base state at acquisition time, not the state it was
+// released with.
+func TestAcquireReplicaSetAdoption(t *testing.T) {
+	fn, err := submodular.NewLogSumUtility([]float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []submodular.RemovalOracle{
+		submodular.NewEvalOracle(fn),
+		submodular.NewEvalOracle(fn),
+	}
+	base[0].Add(1)
+	base[1].Add(4)
+
+	// Drain interference from other tests sharing the package-level pool.
+	replicaPool = sync.Pool{}
+
+	first, err := acquireReplicaSet(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := &oracleShards{sets: [][]submodular.RemovalOracle{base, first}}
+	shards.release()
+
+	// Mutate the base after release; adoption must mirror the new state.
+	base[0].Add(2)
+	base[1].Remove(4)
+	second, err := acquireReplicaSet(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != len(base) {
+		t.Fatalf("adopted set has %d slots, want %d", len(second), len(base))
+	}
+	for tt, o := range second {
+		if o.Value() != base[tt].Value() {
+			t.Errorf("slot %d: adopted Value %v != base %v", tt, o.Value(), base[tt].Value())
+		}
+		for v := 0; v < 6; v++ {
+			if o.Contains(v) != base[tt].Contains(v) {
+				t.Errorf("slot %d: adopted Contains(%d) = %v, base %v", tt, v, o.Contains(v), base[tt].Contains(v))
+			}
+		}
+	}
+
+	// An incompatible pooled set (different length) must be dropped, not
+	// adopted: acquire against a longer base returns a fresh full set.
+	replicaPool = sync.Pool{}
+	replicaPool.Put(&pooledReplicaSet{oracles: second[:1]})
+	third, err := acquireReplicaSet(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != len(base) {
+		t.Fatalf("incompatible pooled set adopted: %d slots, want %d", len(third), len(base))
+	}
+}

@@ -23,7 +23,7 @@ type AblationConfig struct {
 	FieldSide, Range, DetectP float64
 	Seed                      uint64
 	// Workers bounds the worker pool of the sweeps that parallelize
-	// (0 or negative selects runtime.GOMAXPROCS).
+	// (0 or negative selects runtime.NumCPU).
 	Workers int
 }
 

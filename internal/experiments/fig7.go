@@ -25,7 +25,7 @@ type Fig7Config struct {
 	// Seed drives the simulation.
 	Seed uint64
 	// Workers bounds the per-node processing pool (0 or negative
-	// selects runtime.GOMAXPROCS).
+	// selects runtime.NumCPU).
 	Workers int
 }
 

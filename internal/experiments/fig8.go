@@ -38,7 +38,7 @@ type Fig8Config struct {
 	// Seed drives the simulated weather sequence.
 	Seed uint64
 	// Workers bounds the worker pool for the per-n sweep (0 or negative
-	// selects runtime.GOMAXPROCS).
+	// selects runtime.NumCPU).
 	Workers int
 }
 

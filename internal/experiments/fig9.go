@@ -32,7 +32,7 @@ type Fig9Config struct {
 	// Seed drives deployment randomness.
 	Seed uint64
 	// Workers bounds the worker pool for the sweep (0 or negative
-	// selects runtime.GOMAXPROCS).
+	// selects runtime.NumCPU).
 	Workers int
 }
 

@@ -1,0 +1,530 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"cool/internal/core"
+	"cool/internal/energy"
+	"cool/internal/geometry"
+	"cool/internal/parallel"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+	"cool/internal/wsn"
+)
+
+// This file is the memory-layout benchmark behind `coolbench -fig
+// memlayout`: the flat (CSR + bitset + bulk-marginal) oracle layout
+// against a faithful replica of the previous layout (per-sensor
+// slice-of-struct adjacency, map-backed targets, per-call marginals),
+// driving the same dirty-slot-cached greedy planner over the same
+// deployments. Schedules must come out bit-identical; only time and
+// allocation behaviour may differ.
+
+// legacyTargetProb mirrors the old layout's per-sensor adjacency entry.
+type legacyTargetProb struct {
+	target int
+	q      float64 // 1 - p
+}
+
+// legacyDetectionUtility replicates the pre-flat memory layout: one
+// independently allocated []legacyTargetProb per sensor and one
+// map[int]float64 per target. The arithmetic is byte-for-byte the old
+// oracle's, so its greedy schedules are bit-identical to the flat
+// layout's and any timing difference is attributable to layout alone.
+type legacyDetectionUtility struct {
+	n        int
+	weights  []float64
+	bySensor [][]legacyTargetProb
+	byTarget []map[int]float64
+}
+
+func newLegacyDetectionUtility(n int, targets []submodular.DetectionTarget) *legacyDetectionUtility {
+	u := &legacyDetectionUtility{
+		n:        n,
+		weights:  make([]float64, len(targets)),
+		bySensor: make([][]legacyTargetProb, n),
+		byTarget: make([]map[int]float64, len(targets)),
+	}
+	for i, tgt := range targets {
+		u.weights[i] = tgt.Weight
+		u.byTarget[i] = make(map[int]float64, len(tgt.Probs))
+		for v, p := range tgt.Probs {
+			u.byTarget[i][v] = p
+			u.bySensor[v] = append(u.bySensor[v], legacyTargetProb{target: i, q: 1 - p})
+		}
+	}
+	return u
+}
+
+func (u *legacyDetectionUtility) GroundSize() int { return u.n }
+
+func (u *legacyDetectionUtility) Eval(set []int) float64 {
+	seen := make(map[int]bool, len(set))
+	surv := make([]float64, len(u.weights))
+	for i := range surv {
+		surv[i] = 1
+	}
+	for _, v := range set {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		for _, tp := range u.bySensor[v] {
+			surv[tp.target] *= tp.q
+		}
+	}
+	var total float64
+	for i, s := range surv {
+		total += u.weights[i] * (1 - s)
+	}
+	return total
+}
+
+func (u *legacyDetectionUtility) oracle() *legacyDetectionOracle {
+	o := &legacyDetectionOracle{
+		u:     u,
+		in:    make([]bool, u.n),
+		surv:  make([]float64, len(u.weights)),
+		zeros: make([]int, len(u.weights)),
+	}
+	for i := range o.surv {
+		o.surv[i] = 1
+	}
+	return o
+}
+
+// legacyDetectionOracle is the old per-call oracle: boolean-slice
+// membership, per-target survival products, effSurv branch on every
+// edge, no bulk marginals. It deliberately does NOT implement
+// submodular.BulkGainer/BulkLosser, so the greedy engine exercises the
+// per-element refresh path — exactly the engine the previous PR shipped.
+type legacyDetectionOracle struct {
+	u     *legacyDetectionUtility
+	in    []bool
+	surv  []float64
+	zeros []int
+	value float64
+}
+
+var _ submodular.RemovalOracle = (*legacyDetectionOracle)(nil)
+
+func (o *legacyDetectionOracle) effSurv(t int) float64 {
+	if o.zeros[t] > 0 {
+		return 0
+	}
+	return o.surv[t]
+}
+
+func (o *legacyDetectionOracle) Value() float64 { return o.value }
+
+func (o *legacyDetectionOracle) Contains(v int) bool { return o.in[v] }
+
+func (o *legacyDetectionOracle) Gain(v int) float64 {
+	if o.in[v] {
+		return 0
+	}
+	var delta float64
+	for _, tp := range o.u.bySensor[v] {
+		s := o.effSurv(tp.target)
+		delta += o.u.weights[tp.target] * (s - s*tp.q)
+	}
+	return delta
+}
+
+func (o *legacyDetectionOracle) Add(v int) {
+	if o.in[v] {
+		return
+	}
+	o.in[v] = true
+	for _, tp := range o.u.bySensor[v] {
+		t := tp.target
+		s := o.effSurv(t)
+		if tp.q == 0 {
+			o.zeros[t]++
+		} else {
+			o.surv[t] *= tp.q
+		}
+		o.value += o.u.weights[t] * (s - o.effSurv(t))
+	}
+}
+
+func (o *legacyDetectionOracle) Loss(v int) float64 {
+	if !o.in[v] {
+		return 0
+	}
+	var delta float64
+	for _, tp := range o.u.bySensor[v] {
+		t := tp.target
+		cur := o.effSurv(t)
+		var without float64
+		if tp.q == 0 {
+			if o.zeros[t] > 1 {
+				without = 0
+			} else {
+				without = o.surv[t]
+			}
+		} else {
+			if o.zeros[t] > 0 {
+				without = 0
+			} else {
+				without = o.surv[t] / tp.q
+			}
+		}
+		delta += o.u.weights[t] * (without - cur)
+	}
+	return delta
+}
+
+func (o *legacyDetectionOracle) Remove(v int) {
+	if !o.in[v] {
+		return
+	}
+	o.in[v] = false
+	for _, tp := range o.u.bySensor[v] {
+		t := tp.target
+		before := o.effSurv(t)
+		if tp.q == 0 {
+			o.zeros[t]--
+		} else {
+			o.surv[t] /= tp.q
+		}
+		o.value -= o.u.weights[t] * (o.effSurv(t) - before)
+	}
+}
+
+func (o *legacyDetectionOracle) ConcurrentReadSafe() bool { return true }
+
+func (o *legacyDetectionOracle) Clone() submodular.Oracle {
+	return &legacyDetectionOracle{
+		u:     o.u,
+		in:    append([]bool(nil), o.in...),
+		surv:  append([]float64(nil), o.surv...),
+		zeros: append([]int(nil), o.zeros...),
+		value: o.value,
+	}
+}
+
+// legacyGreedyPlacement replicates the previous PR's cached greedy
+// engine verbatim: a dirty-slot marginal cache refreshed with
+// per-element Gain queries (no bulk marginals existed) and a full
+// O(n·T) argmax rescan every step (no per-column candidate tracking
+// existed). Together with legacyDetectionOracle it is the "old" side of
+// the benchmark — engine and layout exactly as previously shipped.
+func legacyGreedyPlacement(in core.Instance) ([]int, error) {
+	T := in.Period.Slots()
+	n := in.N
+	oracles := make([]submodular.RemovalOracle, T)
+	for t := range oracles {
+		oracles[t] = in.Factory()
+	}
+	assign := make([]int, n)
+	for v := range assign {
+		assign[v] = -1
+	}
+	vals := make([]float64, n*T) // vals[t*n+v], the old cache layout
+	fill := func(t int) {
+		base := t * n
+		for v := 0; v < n; v++ {
+			if assign[v] < 0 {
+				vals[base+v] = oracles[t].Gain(v)
+			}
+		}
+	}
+	for t := 0; t < T; t++ {
+		fill(t)
+	}
+	for step := 0; step < n; step++ {
+		bestV, bestT, bestGain := -1, -1, -1.0
+		for v := 0; v < n; v++ {
+			if assign[v] >= 0 {
+				continue
+			}
+			for t := 0; t < T; t++ {
+				if g := vals[t*n+v]; g > bestGain {
+					bestV, bestT, bestGain = v, t, g
+				}
+			}
+		}
+		if bestV < 0 {
+			return nil, fmt.Errorf("experiments: legacy greedy found no candidate at step %d", step)
+		}
+		oracles[bestT].Add(bestV)
+		assign[bestV] = bestT
+		fill(bestT)
+	}
+	return assign, nil
+}
+
+// MemLayoutConfig parameterizes the memory-layout benchmark.
+type MemLayoutConfig struct {
+	// Sizes lists the sensor counts to benchmark (default 240, 1000,
+	// 4000). Targets are Sizes[i]/10.
+	Sizes []int
+	// FieldSide, Range, DetectP mirror the Figure-9 workload (defaults
+	// 500, 100, 0.4).
+	FieldSide, Range, DetectP float64
+	// Rho is the charging ratio (default 7 → T = 8 slots).
+	Rho float64
+	// Iters is the timing repetitions per engine at each size; the
+	// minimum is reported. Sizes above 2000 always use a single
+	// iteration (default 3).
+	Iters int
+	// Workers bounds the parallel determinism cross-check (0 or
+	// negative selects runtime.NumCPU).
+	Workers int
+	// Seed drives deployment randomness.
+	Seed uint64
+}
+
+func (c *MemLayoutConfig) defaults() error {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{240, 1000, 4000}
+	}
+	if c.FieldSide == 0 {
+		c.FieldSide = 500
+	}
+	if c.Range == 0 {
+		c.Range = 100
+	}
+	if c.DetectP == 0 {
+		c.DetectP = 0.4
+	}
+	if c.Rho == 0 {
+		c.Rho = 7
+	}
+	if c.Iters == 0 {
+		c.Iters = 3
+	}
+	for _, n := range c.Sizes {
+		if n < 20 {
+			return fmt.Errorf("experiments: memlayout size %d too small", n)
+		}
+	}
+	if c.Iters < 1 || c.DetectP < 0 || c.DetectP > 1 {
+		return fmt.Errorf("experiments: invalid memlayout config %+v", *c)
+	}
+	if c.Rho < 1 {
+		return fmt.Errorf("experiments: memlayout bench requires a placement-mode rho (>= 1), got %v", c.Rho)
+	}
+	return nil
+}
+
+// MemLayoutCase is the old-vs-new measurement at one workload size.
+type MemLayoutCase struct {
+	Sensors int `json:"sensors"`
+	Targets int `json:"targets"`
+	Slots   int `json:"slots"`
+	// OldNsOp / NewNsOp time one full greedy planner run (best of
+	// Iters) on the legacy and flat layouts.
+	OldNsOp int64 `json:"old_ns_op"`
+	NewNsOp int64 `json:"new_ns_op"`
+	// Speedup is OldNsOp / NewNsOp.
+	Speedup float64 `json:"speedup"`
+	// AllocsPerOp / BytesPerOp count heap allocations and bytes for one
+	// planner run (runtime.MemStats deltas), including oracle
+	// construction.
+	OldAllocsPerOp uint64 `json:"old_allocs_per_op"`
+	NewAllocsPerOp uint64 `json:"new_allocs_per_op"`
+	OldBytesPerOp  uint64 `json:"old_bytes_per_op"`
+	NewBytesPerOp  uint64 `json:"new_bytes_per_op"`
+	// GainAllocsPerOp is the flat oracle's per-Gain-query allocation
+	// count (the tentpole's zero-alloc gate).
+	GainAllocsPerOp float64 `json:"gain_allocs_per_op"`
+	// SchedulesIdentical records that legacy greedy, flat greedy, flat
+	// lazy greedy and flat parallel greedy all returned the same
+	// assignment.
+	SchedulesIdentical bool `json:"schedules_identical"`
+}
+
+// MemLayoutResult is the machine-readable summary coolbench writes to
+// BENCH_memlayout.json.
+type MemLayoutResult struct {
+	Workers int             `json:"workers"`
+	Cases   []MemLayoutCase `json:"cases"`
+}
+
+// buildDetectionTargets replicates wsn.BuildDetectionUtility's target
+// assembly so the legacy and flat utilities are built from the same
+// spec.
+func buildDetectionTargets(net *wsn.Network, model wsn.DetectionModel) ([]submodular.DetectionTarget, error) {
+	targets := make([]submodular.DetectionTarget, net.NumTargets())
+	for j := range targets {
+		t := net.Target(j)
+		probs := make(map[int]float64, len(net.Coverers(j)))
+		for _, i := range net.Coverers(j) {
+			p := model.Prob(net.Sensor(i), t)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return nil, fmt.Errorf("experiments: model returned %v for sensor %d target %d", p, i, j)
+			}
+			probs[i] = p
+		}
+		targets[j] = submodular.DetectionTarget{Weight: t.Weight, Probs: probs}
+	}
+	return targets, nil
+}
+
+// measureRun times and meters one planner execution: wall time plus
+// Mallocs/TotalAlloc deltas from runtime.MemStats (cumulative counters,
+// unaffected by intervening GCs).
+func measureRun(run func() error) (int64, uint64, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	if err := run(); err != nil {
+		return 0, 0, 0, err
+	}
+	ns := time.Since(t0).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return ns, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+}
+
+// MemLayoutBench runs the old-vs-new layout comparison across the
+// configured sizes and returns both a renderable Figure and the raw
+// machine-readable result.
+func MemLayoutBench(cfg MemLayoutConfig) (*Figure, *MemLayoutResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	period, err := energy.PeriodFromRho(cfg.Rho)
+	if err != nil {
+		return nil, nil, err
+	}
+	workers := parallel.Workers(cfg.Workers)
+	res := &MemLayoutResult{Workers: workers}
+	fig := &Figure{
+		ID:     "memlayout-bench",
+		Title:  fmt.Sprintf("Oracle memory layout: flat (CSR+bitset+bulk) vs legacy (slices+maps), T=%d", period.Slots()),
+		XLabel: "sensors",
+		YLabel: "greedy planner milliseconds",
+	}
+	oldSeries := Series{Label: "legacy-layout"}
+	newSeries := Series{Label: "flat-layout"}
+
+	for _, n := range cfg.Sizes {
+		m := n / 10
+		net, err := wsn.Deploy(wsn.DeployConfig{
+			Field:   geometry.NewRect(geometry.Point{}, geometry.Point{X: cfg.FieldSide, Y: cfg.FieldSide}),
+			Sensors: n,
+			Targets: m,
+			Range:   cfg.Range,
+		}, stats.NewRNG(cfg.Seed+uint64(n)))
+		if err != nil {
+			return nil, nil, err
+		}
+		targets, err := buildDetectionTargets(net, wsn.FixedProb(cfg.DetectP))
+		if err != nil {
+			return nil, nil, err
+		}
+		legacy := newLegacyDetectionUtility(n, targets)
+		flat, err := submodular.NewDetectionUtility(n, targets)
+		if err != nil {
+			return nil, nil, err
+		}
+		oldIn := core.Instance{
+			N:       n,
+			Period:  period,
+			Factory: func() submodular.RemovalOracle { return legacy.oracle() },
+		}
+		newIn := core.Instance{
+			N:       n,
+			Period:  period,
+			Factory: func() submodular.RemovalOracle { return flat.Oracle() },
+		}
+		iters := cfg.Iters
+		if n > 2000 {
+			iters = 1
+		}
+
+		// One untimed warmup of each engine so cold caches, lazy page
+		// faults and JIT-like branch-predictor effects do not bias the
+		// first timed iteration (quick runs use Iters = 1).
+		if _, err := legacyGreedyPlacement(oldIn); err != nil {
+			return nil, nil, err
+		}
+		if _, err := core.Greedy(newIn); err != nil {
+			return nil, nil, err
+		}
+
+		var oldAssign []int
+		var newSched *core.Schedule
+		var oldNs, newNs int64 = -1, -1
+		var oldAllocs, newAllocs, oldBytes, newBytes uint64
+		for i := 0; i < iters; i++ {
+			ns, allocs, bytes, err := measureRun(func() error {
+				oldAssign, err = legacyGreedyPlacement(oldIn)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if oldNs < 0 || ns < oldNs {
+				oldNs, oldAllocs, oldBytes = ns, allocs, bytes
+			}
+			ns, allocs, bytes, err = measureRun(func() error {
+				newSched, err = core.Greedy(newIn)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if newNs < 0 || ns < newNs {
+				newNs, newAllocs, newBytes = ns, allocs, bytes
+			}
+		}
+
+		// Determinism cross-check: legacy vs flat, plus the flat lazy
+		// and parallel engines.
+		lazySched, err := core.LazyGreedy(newIn)
+		if err != nil {
+			return nil, nil, err
+		}
+		parSched, err := core.ParallelGreedy(newIn, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		identical := assignEqual(oldAssign, newSched.Assignment()) &&
+			assignEqual(oldAssign, lazySched.Assignment()) &&
+			assignEqual(oldAssign, parSched.Assignment())
+
+		// Per-query allocation gate on a seeded flat oracle.
+		probe := flat.Oracle()
+		for v := 0; v < n; v += 3 {
+			probe.Add(v)
+		}
+		gainAllocs := testing.AllocsPerRun(100, func() {
+			for v := 0; v < n; v += 7 {
+				_ = probe.Gain(v)
+			}
+		})
+
+		c := MemLayoutCase{
+			Sensors:            n,
+			Targets:            m,
+			Slots:              period.Slots(),
+			OldNsOp:            oldNs,
+			NewNsOp:            newNs,
+			Speedup:            float64(oldNs) / float64(newNs),
+			OldAllocsPerOp:     oldAllocs,
+			NewAllocsPerOp:     newAllocs,
+			OldBytesPerOp:      oldBytes,
+			NewBytesPerOp:      newBytes,
+			GainAllocsPerOp:    gainAllocs,
+			SchedulesIdentical: identical,
+		}
+		res.Cases = append(res.Cases, c)
+		oldSeries.X = append(oldSeries.X, float64(n))
+		oldSeries.Y = append(oldSeries.Y, float64(oldNs)/1e6)
+		newSeries.X = append(newSeries.X, float64(n))
+		newSeries.Y = append(newSeries.Y, float64(newNs)/1e6)
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"n=%d m=%d: %.2fx speedup, allocs %d→%d, bytes %d→%d, gain allocs %.0f, identical=%v",
+			n, m, c.Speedup, oldAllocs, newAllocs, oldBytes, newBytes, gainAllocs, identical))
+	}
+	fig.Series = []Series{oldSeries, newSeries}
+	return fig, res, nil
+}

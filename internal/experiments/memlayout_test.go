@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+func TestMemLayoutBenchQuick(t *testing.T) {
+	fig, res, err := MemLayoutBench(MemLayoutConfig{
+		Sizes:   []int{60, 120},
+		Iters:   1,
+		Workers: 2,
+		Seed:    17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 2 {
+		t.Errorf("resolved workers %d, want 2", res.Workers)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if !c.SchedulesIdentical {
+			t.Errorf("n=%d: legacy and flat engines disagreed", c.Sensors)
+		}
+		if c.OldNsOp <= 0 || c.NewNsOp <= 0 {
+			t.Errorf("n=%d: non-positive timing %+v", c.Sensors, c)
+		}
+		if c.GainAllocsPerOp != 0 {
+			t.Errorf("n=%d: flat Gain allocated %v per op", c.Sensors, c.GainAllocsPerOp)
+		}
+		if c.Slots != 8 {
+			t.Errorf("n=%d: rho=7 should give 8 slots, got %d", c.Sensors, c.Slots)
+		}
+	}
+	if len(fig.Series) != 2 {
+		t.Errorf("figure has %d series, want 2", len(fig.Series))
+	}
+	if _, _, err := MemLayoutBench(MemLayoutConfig{Sizes: []int{5}}); err == nil {
+		t.Error("undersized config accepted")
+	}
+	if _, _, err := MemLayoutBench(MemLayoutConfig{Rho: 0.5}); err == nil {
+		t.Error("removal-mode rho accepted")
+	}
+}
+
+// TestLegacyOracleMatchesFlat pins the benchmark's own comparator: the
+// legacy-layout oracle replica must agree with the flat oracle on every
+// query through a deterministic mutation sequence, otherwise the
+// benchmark would be comparing different functions.
+func TestLegacyOracleMatchesFlat(t *testing.T) {
+	_, res, err := MemLayoutBench(MemLayoutConfig{Sizes: []int{60}, Iters: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cases[0].SchedulesIdentical {
+		t.Fatal("legacy replica diverged from flat layout")
+	}
+}

@@ -28,7 +28,7 @@ type ParallelBenchConfig struct {
 	// regime where slot sharding has work to shard).
 	Rho float64
 	// Workers bounds the parallel engines (0 or negative selects
-	// runtime.GOMAXPROCS).
+	// runtime.NumCPU).
 	Workers int
 	// Iters is the number of timing repetitions per engine; the best
 	// (minimum) time is reported (default 3).

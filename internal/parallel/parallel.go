@@ -22,10 +22,12 @@ import (
 )
 
 // Workers normalizes a requested worker count: values <= 0 select
-// runtime.GOMAXPROCS(0), everything else is returned unchanged.
+// runtime.NumCPU() — the machine's full core count, so an unset
+// -workers flag uses the hardware rather than whatever GOMAXPROCS
+// happens to be capped to — and everything else is returned unchanged.
 func Workers(requested int) int {
 	if requested <= 0 {
-		return runtime.GOMAXPROCS(0)
+		return runtime.NumCPU()
 	}
 	return requested
 }
@@ -34,7 +36,7 @@ func Workers(requested int) int {
 // returns the error of the lowest failing index (so the reported error
 // does not depend on goroutine scheduling). Panics inside fn are
 // recovered and rethrown on the calling goroutine. workers <= 0 selects
-// GOMAXPROCS; workers == 1 (or n <= 1) degrades to a plain sequential
+// NumCPU; workers == 1 (or n <= 1) degrades to a plain sequential
 // loop with zero goroutine overhead.
 func For(workers, n int, fn func(i int) error) error {
 	if n <= 0 {

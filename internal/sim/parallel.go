@@ -75,7 +75,7 @@ func (m *MonteCarloResult) ConfidenceInterval95() float64 {
 }
 
 // RunParallel executes reps independent Monte-Carlo replications of cfg
-// on up to workers goroutines (0 or negative selects GOMAXPROCS) and
+// on up to workers goroutines (0 or negative selects runtime.NumCPU) and
 // merges the per-replication summaries deterministically. Replication i
 // is cfg with Seed = ReplicationSeed(cfg.Seed, i); its summary is
 // identical to what a direct sim.Run of that configuration returns, so

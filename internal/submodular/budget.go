@@ -3,6 +3,8 @@ package submodular
 import (
 	"fmt"
 	"math"
+
+	"cool/internal/bitset"
 )
 
 // BudgetAdditiveUtility is U(S) = min(Budget, Σ_{v∈S} w_v): additive
@@ -41,14 +43,14 @@ func (u *BudgetAdditiveUtility) Budget() float64 { return u.budget }
 
 // Eval implements Function.
 func (u *BudgetAdditiveUtility) Eval(set []int) float64 {
-	seen := make(map[int]bool, len(set))
+	seen := bitset.New(len(u.weights))
 	var sum float64
 	for _, v := range set {
 		checkElem(v, len(u.weights))
-		if seen[v] {
+		if seen.Contains(v) {
 			continue
 		}
-		seen[v] = true
+		seen.Add(v)
 		sum += u.weights[v]
 	}
 	return math.Min(u.budget, sum)
@@ -56,17 +58,22 @@ func (u *BudgetAdditiveUtility) Eval(set []int) float64 {
 
 // Oracle returns an incremental oracle for the empty set.
 func (u *BudgetAdditiveUtility) Oracle() *BudgetAdditiveOracle {
-	return &BudgetAdditiveOracle{u: u, in: make([]bool, len(u.weights))}
+	return &BudgetAdditiveOracle{u: u, in: bitset.New(len(u.weights))}
 }
 
 // BudgetAdditiveOracle tracks the running (uncapped) sum.
 type BudgetAdditiveOracle struct {
 	u   *BudgetAdditiveUtility
-	in  []bool
+	in  bitset.Bitset
 	sum float64
 }
 
-var _ RemovalOracle = (*BudgetAdditiveOracle)(nil)
+var (
+	_ RemovalOracle = (*BudgetAdditiveOracle)(nil)
+	_ BulkGainer    = (*BudgetAdditiveOracle)(nil)
+	_ BulkLosser    = (*BudgetAdditiveOracle)(nil)
+	_ StateCopier   = (*BudgetAdditiveOracle)(nil)
+)
 
 // capped clamps a running sum into [0, budget]; the lower clamp absorbs
 // the tiny negative residue floating-point subtraction can leave after
@@ -84,44 +91,77 @@ func (o *BudgetAdditiveOracle) Value() float64 { return o.capped(o.sum) }
 // Contains implements Oracle.
 func (o *BudgetAdditiveOracle) Contains(v int) bool {
 	checkElem(v, len(o.u.weights))
-	return o.in[v]
+	return o.in.Contains(v)
 }
 
 // Gain implements Oracle.
 func (o *BudgetAdditiveOracle) Gain(v int) float64 {
 	checkElem(v, len(o.u.weights))
-	if o.in[v] {
+	if o.in.Contains(v) {
 		return 0
 	}
 	return o.capped(o.sum+o.u.weights[v]) - o.Value()
 }
 
+// BulkGain implements BulkGainer; every element's gain is independent,
+// so the bulk form is a single contiguous sweep over the weights.
+func (o *BudgetAdditiveOracle) BulkGain(out []float64) {
+	n := len(o.u.weights)
+	if len(out) != n {
+		panic(fmt.Sprintf("submodular: BulkGain buffer %d != ground size %d", len(out), n))
+	}
+	cur := o.Value()
+	for v := 0; v < n; v++ {
+		if o.in.Contains(v) {
+			out[v] = 0
+		} else {
+			out[v] = o.capped(o.sum+o.u.weights[v]) - cur
+		}
+	}
+}
+
 // Add implements Oracle.
 func (o *BudgetAdditiveOracle) Add(v int) {
 	checkElem(v, len(o.u.weights))
-	if o.in[v] {
+	if o.in.Contains(v) {
 		return
 	}
-	o.in[v] = true
+	o.in.Add(v)
 	o.sum += o.u.weights[v]
 }
 
 // Loss implements RemovalOracle.
 func (o *BudgetAdditiveOracle) Loss(v int) float64 {
 	checkElem(v, len(o.u.weights))
-	if !o.in[v] {
+	if !o.in.Contains(v) {
 		return 0
 	}
 	return o.Value() - o.capped(o.sum-o.u.weights[v])
 }
 
+// BulkLoss implements BulkLosser.
+func (o *BudgetAdditiveOracle) BulkLoss(out []float64) {
+	n := len(o.u.weights)
+	if len(out) != n {
+		panic(fmt.Sprintf("submodular: BulkLoss buffer %d != ground size %d", len(out), n))
+	}
+	cur := o.Value()
+	for v := 0; v < n; v++ {
+		if o.in.Contains(v) {
+			out[v] = cur - o.capped(o.sum-o.u.weights[v])
+		} else {
+			out[v] = 0
+		}
+	}
+}
+
 // Remove implements RemovalOracle.
 func (o *BudgetAdditiveOracle) Remove(v int) {
 	checkElem(v, len(o.u.weights))
-	if !o.in[v] {
+	if !o.in.Contains(v) {
 		return
 	}
-	o.in[v] = false
+	o.in.Remove(v)
 	o.sum -= o.u.weights[v]
 }
 
@@ -132,5 +172,15 @@ func (o *BudgetAdditiveOracle) ConcurrentReadSafe() bool { return true }
 
 // Clone implements Oracle.
 func (o *BudgetAdditiveOracle) Clone() Oracle {
-	return &BudgetAdditiveOracle{u: o.u, in: append([]bool(nil), o.in...), sum: o.sum}
+	return &BudgetAdditiveOracle{u: o.u, in: o.in.Clone(), sum: o.sum}
+}
+
+// CopyStateFrom implements StateCopier.
+func (o *BudgetAdditiveOracle) CopyStateFrom(src Oracle) bool {
+	s, ok := src.(*BudgetAdditiveOracle)
+	if !ok || s.u != o.u || !o.in.CopyFrom(s.in) {
+		return false
+	}
+	o.sum = s.sum
+	return true
 }

@@ -3,6 +3,8 @@ package submodular
 import (
 	"fmt"
 	"math"
+
+	"cool/internal/bitset"
 )
 
 // CoverageItem is one element of a weighted-coverage ground truth — in
@@ -20,11 +22,19 @@ type CoverageItem struct {
 // CoverageUtility is the weighted coverage function
 // U(S) = Σ_i I_i(S)·value_i where I_i(S)=1 iff some sensor of S covers
 // item i. It is normalized, monotone and submodular.
+//
+// Memory layout: the sensor↔item incidence is stored twice as
+// unweighted CSR (sensor→items for marginal queries, item→sensors for
+// bulk sweeps and the LP relaxation's Items view). See DESIGN.md §5.2.
 type CoverageUtility struct {
-	n        int
-	values   []float64
-	bySensor [][]int // sensor -> item indices it covers
-	byItem   [][]int
+	n      int
+	values []float64
+	// sensorItems rows are sensors, columns item indices in ascending
+	// order (fixing the accumulation order of marginal queries).
+	sensorItems CSR
+	// itemSensors rows are items, columns sensors in the order the
+	// constructor received them (Items round-trips that order).
+	itemSensors CSR
 }
 
 var _ Function = (*CoverageUtility)(nil)
@@ -37,31 +47,46 @@ func NewCoverageUtility(n int, items []CoverageItem) (*CoverageUtility, error) {
 		return nil, fmt.Errorf("submodular: negative ground size %d", n)
 	}
 	u := &CoverageUtility{
-		n:        n,
-		values:   make([]float64, len(items)),
-		bySensor: make([][]int, n),
-		byItem:   make([][]int, len(items)),
+		n:      n,
+		values: make([]float64, len(items)),
 	}
+	edges := make([]csrEdge, 0, countCovers(items))
+	seen := bitset.New(n)
 	for i, item := range items {
 		if !(item.Value > 0) || math.IsInf(item.Value, 0) {
 			return nil, fmt.Errorf("submodular: item %d has invalid value %v", i, item.Value)
 		}
 		u.values[i] = item.Value
-		seen := make(map[int]bool, len(item.CoveredBy))
+		seen.Clear()
 		for _, v := range item.CoveredBy {
 			if v < 0 || v >= n {
 				return nil, fmt.Errorf(
 					"submodular: item %d references sensor %d outside [0,%d)", i, v, n)
 			}
-			if seen[v] {
+			if seen.Contains(v) {
 				return nil, fmt.Errorf("submodular: item %d lists sensor %d twice", i, v)
 			}
-			seen[v] = true
-			u.bySensor[v] = append(u.bySensor[v], i)
-			u.byItem[i] = append(u.byItem[i], v)
+			seen.Add(v)
+			edges = append(edges, csrEdge{row: int32(i), col: int32(v)})
 		}
 	}
+	// item→sensors preserves the caller's CoveredBy order per item.
+	u.itemSensors = buildCSR(len(items), edges, false)
+	// sensor→items: emitted item-major, so every sensor row lists its
+	// items in ascending order, matching the pre-CSR accumulation order.
+	for k := range edges {
+		edges[k].row, edges[k].col = edges[k].col, edges[k].row
+	}
+	u.sensorItems = buildCSR(n, edges, false)
 	return u, nil
+}
+
+func countCovers(items []CoverageItem) int {
+	c := 0
+	for _, it := range items {
+		c += len(it.CoveredBy)
+	}
+	return c
 }
 
 // GroundSize implements Function.
@@ -75,7 +100,7 @@ func (u *CoverageUtility) NumItems() int { return len(u.values) }
 func (u *CoverageUtility) TotalValue() float64 {
 	var sum float64
 	for i, v := range u.values {
-		if len(u.byItem[i]) > 0 {
+		if u.itemSensors.Degree(i) > 0 {
 			sum += v
 		}
 	}
@@ -87,28 +112,31 @@ func (u *CoverageUtility) TotalValue() float64 {
 func (u *CoverageUtility) Items() []CoverageItem {
 	items := make([]CoverageItem, len(u.values))
 	for i := range items {
-		items[i] = CoverageItem{
-			Value:     u.values[i],
-			CoveredBy: append([]int(nil), u.byItem[i]...),
+		sensors, _ := u.itemSensors.Row(i)
+		covered := make([]int, len(sensors))
+		for k, v := range sensors {
+			covered[k] = int(v)
 		}
+		items[i] = CoverageItem{Value: u.values[i], CoveredBy: covered}
 	}
 	return items
 }
 
 // Eval implements Function.
 func (u *CoverageUtility) Eval(set []int) float64 {
-	covered := make([]bool, len(u.values))
-	seen := make(map[int]bool, len(set))
+	covered := bitset.New(len(u.values))
+	seen := bitset.New(u.n)
 	var total float64
 	for _, v := range set {
 		checkElem(v, u.n)
-		if seen[v] {
+		if seen.Contains(v) {
 			continue
 		}
-		seen[v] = true
-		for _, item := range u.bySensor[v] {
-			if !covered[item] {
-				covered[item] = true
+		seen.Add(v)
+		items, _ := u.sensorItems.Row(v)
+		for _, item := range items {
+			if !covered.Contains(int(item)) {
+				covered.Add(int(item))
 				total += u.values[item]
 			}
 		}
@@ -120,8 +148,8 @@ func (u *CoverageUtility) Eval(set []int) float64 {
 func (u *CoverageUtility) Oracle() *CoverageOracle {
 	return &CoverageOracle{
 		u:      u,
-		in:     make([]bool, u.n),
-		counts: make([]int, len(u.values)),
+		in:     bitset.New(u.n),
+		counts: make([]int32, len(u.values)),
 	}
 }
 
@@ -136,15 +164,21 @@ func (u *CoverageUtility) FullOracle() *CoverageOracle {
 }
 
 // CoverageOracle tracks the number of active sensors covering each item,
-// giving O(deg) gains and losses.
+// giving O(deg) gains and losses with zero allocations.
 type CoverageOracle struct {
 	u      *CoverageUtility
-	in     []bool
-	counts []int
+	in     bitset.Bitset
+	counts []int32
 	value  float64
 }
 
-var _ RemovalOracle = (*CoverageOracle)(nil)
+var (
+	_ RemovalOracle      = (*CoverageOracle)(nil)
+	_ BulkGainer         = (*CoverageOracle)(nil)
+	_ BulkLosser         = (*CoverageOracle)(nil)
+	_ StateCopier        = (*CoverageOracle)(nil)
+	_ ConcurrentReadSafe = (*CoverageOracle)(nil)
+)
 
 // Value implements Oracle.
 func (o *CoverageOracle) Value() float64 { return o.value }
@@ -152,17 +186,18 @@ func (o *CoverageOracle) Value() float64 { return o.value }
 // Contains implements Oracle.
 func (o *CoverageOracle) Contains(v int) bool {
 	checkElem(v, o.u.n)
-	return o.in[v]
+	return o.in.Contains(v)
 }
 
 // Gain implements Oracle.
 func (o *CoverageOracle) Gain(v int) float64 {
 	checkElem(v, o.u.n)
-	if o.in[v] {
+	if o.in.Contains(v) {
 		return 0
 	}
+	items, _ := o.u.sensorItems.Row(v)
 	var delta float64
-	for _, item := range o.u.bySensor[v] {
+	for _, item := range items {
 		if o.counts[item] == 0 {
 			delta += o.u.values[item]
 		}
@@ -170,14 +205,38 @@ func (o *CoverageOracle) Gain(v int) float64 {
 	return delta
 }
 
+// BulkGain implements BulkGainer with an item-major sweep: every
+// uncovered item pushes its value to all covering sensors in one
+// contiguous pass. out[v] is bit-identical to Gain(v).
+func (o *CoverageOracle) BulkGain(out []float64) {
+	u := o.u
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: BulkGain buffer %d != ground size %d", len(out), u.n))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for item, val := range u.values {
+		if o.counts[item] != 0 {
+			continue
+		}
+		sensors, _ := u.itemSensors.Row(item)
+		for _, v := range sensors {
+			out[v] += val
+		}
+	}
+	o.in.ForEach(func(v int) { out[v] = 0 })
+}
+
 // Add implements Oracle.
 func (o *CoverageOracle) Add(v int) {
 	checkElem(v, o.u.n)
-	if o.in[v] {
+	if o.in.Contains(v) {
 		return
 	}
-	o.in[v] = true
-	for _, item := range o.u.bySensor[v] {
+	o.in.Add(v)
+	items, _ := o.u.sensorItems.Row(v)
+	for _, item := range items {
 		if o.counts[item] == 0 {
 			o.value += o.u.values[item]
 		}
@@ -188,11 +247,12 @@ func (o *CoverageOracle) Add(v int) {
 // Loss implements RemovalOracle.
 func (o *CoverageOracle) Loss(v int) float64 {
 	checkElem(v, o.u.n)
-	if !o.in[v] {
+	if !o.in.Contains(v) {
 		return 0
 	}
+	items, _ := o.u.sensorItems.Row(v)
 	var delta float64
-	for _, item := range o.u.bySensor[v] {
+	for _, item := range items {
 		if o.counts[item] == 1 {
 			delta += o.u.values[item]
 		}
@@ -200,14 +260,39 @@ func (o *CoverageOracle) Loss(v int) float64 {
 	return delta
 }
 
+// BulkLoss implements BulkLosser: every critically-covered item
+// (count == 1) pushes its value to its single active coverer. out[v]
+// is bit-identical to Loss(v) for members and 0 for non-members.
+func (o *CoverageOracle) BulkLoss(out []float64) {
+	u := o.u
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: BulkLoss buffer %d != ground size %d", len(out), u.n))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for item, val := range u.values {
+		if o.counts[item] != 1 {
+			continue
+		}
+		sensors, _ := u.itemSensors.Row(item)
+		for _, v := range sensors {
+			if o.in.Contains(int(v)) {
+				out[v] += val
+			}
+		}
+	}
+}
+
 // Remove implements RemovalOracle.
 func (o *CoverageOracle) Remove(v int) {
 	checkElem(v, o.u.n)
-	if !o.in[v] {
+	if !o.in.Contains(v) {
 		return
 	}
-	o.in[v] = false
-	for _, item := range o.u.bySensor[v] {
+	o.in.Remove(v)
+	items, _ := o.u.sensorItems.Row(v)
+	for _, item := range items {
 		o.counts[item]--
 		if o.counts[item] == 0 {
 			o.value -= o.u.values[item]
@@ -215,17 +300,34 @@ func (o *CoverageOracle) Remove(v int) {
 	}
 }
 
-// ConcurrentReadSafe reports that Value/Gain/Loss/Contains are pure
-// reads over the oracle's coverage counters and may run from many
-// goroutines concurrently (absent a concurrent Add/Remove).
+// ConcurrentReadSafe reports that Value/Gain/Loss/Contains (and the
+// bulk variants, which only write the caller's buffer) are pure reads
+// over the oracle's coverage counters and may run from many goroutines
+// concurrently (absent a concurrent Add/Remove).
 func (o *CoverageOracle) ConcurrentReadSafe() bool { return true }
 
 // Clone implements Oracle.
 func (o *CoverageOracle) Clone() Oracle {
 	return &CoverageOracle{
 		u:      o.u,
-		in:     append([]bool(nil), o.in...),
-		counts: append([]int(nil), o.counts...),
+		in:     o.in.Clone(),
+		counts: append([]int32(nil), o.counts...),
 		value:  o.value,
 	}
+}
+
+// CopyStateFrom implements StateCopier: it overwrites the oracle's set
+// state with src's without allocating, provided src is a
+// CoverageOracle over the same utility.
+func (o *CoverageOracle) CopyStateFrom(src Oracle) bool {
+	s, ok := src.(*CoverageOracle)
+	if !ok || s.u != o.u {
+		return false
+	}
+	if !o.in.CopyFrom(s.in) {
+		return false
+	}
+	copy(o.counts, s.counts)
+	o.value = s.value
+	return true
 }

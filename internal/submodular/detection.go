@@ -3,6 +3,8 @@ package submodular
 import (
 	"fmt"
 	"math"
+
+	"cool/internal/bitset"
 )
 
 // DetectionTarget describes one monitored target O_i for the
@@ -15,23 +17,30 @@ type DetectionTarget struct {
 	Weight float64
 	// Probs maps a covering sensor's index to its detection probability
 	// p ∈ [0, 1]. Sensors absent from the map do not cover the target.
+	// The map is only the construction-time input format; NewDetection-
+	// Utility compiles it into flat CSR incidence arrays.
 	Probs map[int]float64
 }
 
 // DetectionUtility is the multi-target probabilistic detection utility
 // U(S) = Σ_i U_i(S ∩ V(O_i)). It is normalized, monotone and submodular
 // for any probabilities in [0, 1].
+//
+// Memory layout: the sensor↔target incidence is stored twice as CSR
+// (sensor→targets for marginal queries, target→sensors for bulk
+// target-major sweeps and per-target reporting), with the per-edge
+// survival factor q = 1−p as the parallel value array. See DESIGN.md
+// §5.2.
 type DetectionUtility struct {
 	n       int
 	weights []float64
-	// survives[t] maps sensor -> (1-p) for targets' covering sensors.
-	bySensor [][]targetProb
-	byTarget []map[int]float64
-}
-
-type targetProb struct {
-	target int
-	q      float64 // 1 - p
+	// sensorTargets rows are sensors, columns targets, values q = 1−p.
+	// Within each row targets appear in ascending order, which fixes the
+	// floating-point accumulation order of every marginal query.
+	sensorTargets CSR
+	// targetSensors rows are targets, columns sensors (ascending),
+	// values q = 1−p.
+	targetSensors CSR
 }
 
 var _ Function = (*DetectionUtility)(nil)
@@ -44,17 +53,15 @@ func NewDetectionUtility(n int, targets []DetectionTarget) (*DetectionUtility, e
 		return nil, fmt.Errorf("submodular: negative ground size %d", n)
 	}
 	u := &DetectionUtility{
-		n:        n,
-		weights:  make([]float64, len(targets)),
-		bySensor: make([][]targetProb, n),
-		byTarget: make([]map[int]float64, len(targets)),
+		n:       n,
+		weights: make([]float64, len(targets)),
 	}
+	edges := make([]csrEdge, 0, countProbs(targets))
 	for i, tgt := range targets {
 		if !(tgt.Weight > 0) || math.IsInf(tgt.Weight, 0) {
 			return nil, fmt.Errorf("submodular: target %d has invalid weight %v", i, tgt.Weight)
 		}
 		u.weights[i] = tgt.Weight
-		u.byTarget[i] = make(map[int]float64, len(tgt.Probs))
 		for v, p := range tgt.Probs {
 			if v < 0 || v >= n {
 				return nil, fmt.Errorf(
@@ -64,11 +71,33 @@ func NewDetectionUtility(n int, targets []DetectionTarget) (*DetectionUtility, e
 				return nil, fmt.Errorf(
 					"submodular: target %d sensor %d has probability %v outside [0,1]", i, v, p)
 			}
-			u.byTarget[i][v] = p
-			u.bySensor[v] = append(u.bySensor[v], targetProb{target: i, q: 1 - p})
+			edges = append(edges, csrEdge{row: int32(i), col: int32(v), val: 1 - p})
 		}
 	}
+	// target→sensors: group by target, then sort each row by sensor so
+	// map-iteration order never leaks into the layout.
+	u.targetSensors = buildCSR(len(targets), edges, true)
+	u.targetSensors.sortRowsByCol()
+	// sensor→targets: emit edges target-major from the sorted structure,
+	// so each sensor's row lists its targets in ascending order — the
+	// same per-sensor accumulation order the pre-CSR implementation used.
+	edges = edges[:0]
+	for i := 0; i < len(targets); i++ {
+		sensors, qs := u.targetSensors.Row(i)
+		for k, v := range sensors {
+			edges = append(edges, csrEdge{row: v, col: int32(i), val: qs[k]})
+		}
+	}
+	u.sensorTargets = buildCSR(n, edges, true)
 	return u, nil
+}
+
+func countProbs(targets []DetectionTarget) int {
+	c := 0
+	for _, t := range targets {
+		c += len(t.Probs)
+	}
+	return c
 }
 
 // GroundSize implements Function.
@@ -89,19 +118,20 @@ func (u *DetectionUtility) TotalWeight() float64 {
 
 // Eval implements Function.
 func (u *DetectionUtility) Eval(set []int) float64 {
-	seen := make(map[int]bool, len(set))
+	seen := bitset.New(u.n)
 	surv := make([]float64, len(u.weights))
 	for i := range surv {
 		surv[i] = 1
 	}
 	for _, v := range set {
 		checkElem(v, u.n)
-		if seen[v] {
+		if seen.Contains(v) {
 			continue
 		}
-		seen[v] = true
-		for _, tp := range u.bySensor[v] {
-			surv[tp.target] *= tp.q
+		seen.Add(v)
+		ts, qs := u.sensorTargets.Row(v)
+		for k, t := range ts {
+			surv[t] *= qs[k]
 		}
 	}
 	var total float64
@@ -118,14 +148,14 @@ func (u *DetectionUtility) TargetValue(target int, set []int) float64 {
 		panic(fmt.Sprintf("submodular: target %d out of range", target))
 	}
 	surv := 1.0
-	seen := make(map[int]bool, len(set))
+	seen := bitset.New(u.n)
 	for _, v := range set {
-		if seen[v] {
+		if seen.Contains(v) {
 			continue
 		}
-		seen[v] = true
-		if p, ok := u.byTarget[target][v]; ok {
-			surv *= 1 - p
+		seen.Add(v)
+		if q, ok := u.targetSensors.lookup(target, int32(v)); ok {
+			surv *= q
 		}
 	}
 	return u.weights[target] * (1 - surv)
@@ -133,16 +163,19 @@ func (u *DetectionUtility) TargetValue(target int, set []int) float64 {
 
 // Oracle returns an incremental oracle for the empty set. Gain and Loss
 // queries cost O(deg(v)) where deg(v) is the number of targets sensor v
-// covers.
+// covers, with zero allocations.
 func (u *DetectionUtility) Oracle() *DetectionOracle {
+	m := len(u.weights)
 	o := &DetectionOracle{
 		u:     u,
-		in:    make([]bool, u.n),
-		surv:  make([]float64, len(u.weights)),
-		zeros: make([]int, len(u.weights)),
+		in:    bitset.New(u.n),
+		surv:  make([]float64, m),
+		eff:   make([]float64, m),
+		zeros: make([]int32, m),
 	}
 	for i := range o.surv {
 		o.surv[i] = 1
+		o.eff[i] = 1
 	}
 	return o
 }
@@ -150,23 +183,33 @@ func (u *DetectionUtility) Oracle() *DetectionOracle {
 // DetectionOracle incrementally tracks, per target, the survival
 // probability Π(1−p) of the current set. Sensors with p = 1 are counted
 // separately (zeros) so that Remove can undo them without dividing by
-// zero.
+// zero; eff caches the effective survival (0 when zeros > 0, surv
+// otherwise) so the Gain hot loop touches a single float64 array per
+// target instead of re-deriving it from two.
 type DetectionOracle struct {
 	u     *DetectionUtility
-	in    []bool
+	in    bitset.Bitset
 	surv  []float64 // product of q over members with q > 0
-	zeros []int     // count of members with q == 0 (p == 1)
+	eff   []float64 // effective survival: 0 if zeros > 0, else surv
+	zeros []int32   // count of members with q == 0 (p == 1)
 	value float64
 }
 
-var _ RemovalOracle = (*DetectionOracle)(nil)
+var (
+	_ RemovalOracle     = (*DetectionOracle)(nil)
+	_ BulkGainer        = (*DetectionOracle)(nil)
+	_ BulkLosser        = (*DetectionOracle)(nil)
+	_ StateCopier       = (*DetectionOracle)(nil)
+	_ ConcurrentReadSafe = (*DetectionOracle)(nil)
+)
 
-// effSurv returns the effective survival probability of target t.
-func (o *DetectionOracle) effSurv(t int) float64 {
+// refreshEff re-derives eff[t] after a surv/zeros update.
+func (o *DetectionOracle) refreshEff(t int32) {
 	if o.zeros[t] > 0 {
-		return 0
+		o.eff[t] = 0
+	} else {
+		o.eff[t] = o.surv[t]
 	}
-	return o.surv[t]
 }
 
 // Value implements Oracle.
@@ -175,103 +218,178 @@ func (o *DetectionOracle) Value() float64 { return o.value }
 // Contains implements Oracle.
 func (o *DetectionOracle) Contains(v int) bool {
 	checkElem(v, o.u.n)
-	return o.in[v]
+	return o.in.Contains(v)
 }
 
 // Gain implements Oracle.
 func (o *DetectionOracle) Gain(v int) float64 {
 	checkElem(v, o.u.n)
-	if o.in[v] {
+	if o.in.Contains(v) {
 		return 0
 	}
+	ts, qs := o.u.sensorTargets.Row(v)
 	var delta float64
-	for _, tp := range o.u.bySensor[v] {
-		s := o.effSurv(tp.target)
-		delta += o.u.weights[tp.target] * (s - s*tp.q)
+	for k, t := range ts {
+		s := o.eff[t]
+		delta += o.u.weights[t] * (s - s*qs[k])
 	}
 	return delta
+}
+
+// BulkGain implements BulkGainer with a target-major sweep over the
+// target→sensors CSR: one pass of contiguous reads, accumulating into
+// out, instead of GroundSize independent sensor-major walks. Per
+// sensor the contributions arrive in ascending target order — exactly
+// Gain's accumulation order — so out[v] is bit-identical to Gain(v).
+func (o *DetectionOracle) BulkGain(out []float64) {
+	u := o.u
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: BulkGain buffer %d != ground size %d", len(out), u.n))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for t := range u.weights {
+		e := o.eff[t]
+		if e == 0 {
+			continue // contributes w·(0−0·q) = 0 to every covering sensor
+		}
+		w := u.weights[t]
+		vs, qs := u.targetSensors.Row(t)
+		qs = qs[:len(vs)] // hoist the slice-length relation for bounds-check elimination
+		for k, v := range vs {
+			out[v] += w * (e - e*qs[k])
+		}
+	}
+	o.in.ForEach(func(v int) { out[v] = 0 })
 }
 
 // Add implements Oracle.
 func (o *DetectionOracle) Add(v int) {
 	checkElem(v, o.u.n)
-	if o.in[v] {
+	if o.in.Contains(v) {
 		return
 	}
-	o.in[v] = true
-	for _, tp := range o.u.bySensor[v] {
-		t := tp.target
-		s := o.effSurv(t)
-		if tp.q == 0 {
+	o.in.Add(v)
+	ts, qs := o.u.sensorTargets.Row(v)
+	for k, t := range ts {
+		s := o.eff[t]
+		if q := qs[k]; q == 0 {
 			o.zeros[t]++
 		} else {
-			o.surv[t] *= tp.q
+			o.surv[t] *= q
 		}
-		o.value += o.u.weights[t] * (s - o.effSurv(t))
+		o.refreshEff(t)
+		o.value += o.u.weights[t] * (s - o.eff[t])
 	}
+}
+
+// lossAt returns the survival probability of target t if one member
+// with factor q were removed, given the current surv/zeros state.
+func (o *DetectionOracle) lossWithout(t int32, q float64) float64 {
+	if q == 0 {
+		if o.zeros[t] > 1 {
+			return 0
+		}
+		return o.surv[t]
+	}
+	if o.zeros[t] > 0 {
+		return 0
+	}
+	return o.surv[t] / q
 }
 
 // Loss implements RemovalOracle.
 func (o *DetectionOracle) Loss(v int) float64 {
 	checkElem(v, o.u.n)
-	if !o.in[v] {
+	if !o.in.Contains(v) {
 		return 0
 	}
+	ts, qs := o.u.sensorTargets.Row(v)
 	var delta float64
-	for _, tp := range o.u.bySensor[v] {
-		t := tp.target
-		cur := o.effSurv(t)
-		var without float64
-		if tp.q == 0 {
-			if o.zeros[t] > 1 {
-				without = 0
-			} else {
-				without = o.surv[t]
-			}
-		} else {
-			if o.zeros[t] > 0 {
-				without = 0
-			} else {
-				without = o.surv[t] / tp.q
-			}
-		}
-		delta += o.u.weights[t] * (without - cur)
+	for k, t := range ts {
+		cur := o.eff[t]
+		delta += o.u.weights[t] * (o.lossWithout(t, qs[k]) - cur)
 	}
 	return delta
+}
+
+// BulkLoss implements BulkLosser: the target-major dual of BulkGain.
+// out[v] is bit-identical to Loss(v) for members and 0 for non-members.
+func (o *DetectionOracle) BulkLoss(out []float64) {
+	u := o.u
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: BulkLoss buffer %d != ground size %d", len(out), u.n))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for t := range u.weights {
+		w := u.weights[t]
+		cur := o.eff[t]
+		vs, qs := u.targetSensors.Row(t)
+		qs = qs[:len(vs)]
+		for k, v := range vs {
+			if !o.in.Contains(int(v)) {
+				continue
+			}
+			out[v] += w * (o.lossWithout(int32(t), qs[k]) - cur)
+		}
+	}
 }
 
 // Remove implements RemovalOracle.
 func (o *DetectionOracle) Remove(v int) {
 	checkElem(v, o.u.n)
-	if !o.in[v] {
+	if !o.in.Contains(v) {
 		return
 	}
-	o.in[v] = false
-	for _, tp := range o.u.bySensor[v] {
-		t := tp.target
-		before := o.effSurv(t)
-		if tp.q == 0 {
+	o.in.Remove(v)
+	ts, qs := o.u.sensorTargets.Row(v)
+	for k, t := range ts {
+		before := o.eff[t]
+		if q := qs[k]; q == 0 {
 			o.zeros[t]--
 		} else {
-			o.surv[t] /= tp.q
+			o.surv[t] /= q
 		}
-		o.value -= o.u.weights[t] * (o.effSurv(t) - before)
+		o.refreshEff(t)
+		o.value -= o.u.weights[t] * (o.eff[t] - before)
 	}
 }
 
-// ConcurrentReadSafe reports that Value/Gain/Loss/Contains are pure
-// reads over the oracle's survival-product state and may run from many
+// ConcurrentReadSafe reports that Value/Gain/Loss/Contains (and the
+// bulk variants, which only write the caller's buffer) are pure reads
+// over the oracle's survival-product state and may run from many
 // goroutines concurrently (absent a concurrent Add/Remove).
 func (o *DetectionOracle) ConcurrentReadSafe() bool { return true }
 
 // Clone implements Oracle.
 func (o *DetectionOracle) Clone() Oracle {
-	c := &DetectionOracle{
+	return &DetectionOracle{
 		u:     o.u,
-		in:    append([]bool(nil), o.in...),
+		in:    o.in.Clone(),
 		surv:  append([]float64(nil), o.surv...),
-		zeros: append([]int(nil), o.zeros...),
+		eff:   append([]float64(nil), o.eff...),
+		zeros: append([]int32(nil), o.zeros...),
 		value: o.value,
 	}
-	return c
+}
+
+// CopyStateFrom implements StateCopier: it overwrites the oracle's set
+// state with src's without allocating, provided src is a
+// DetectionOracle over the same utility.
+func (o *DetectionOracle) CopyStateFrom(src Oracle) bool {
+	s, ok := src.(*DetectionOracle)
+	if !ok || s.u != o.u {
+		return false
+	}
+	if !o.in.CopyFrom(s.in) {
+		return false
+	}
+	copy(o.surv, s.surv)
+	copy(o.eff, s.eff)
+	copy(o.zeros, s.zeros)
+	o.value = s.value
+	return true
 }

@@ -3,6 +3,8 @@ package submodular
 import (
 	"fmt"
 	"math"
+
+	"cool/internal/bitset"
 )
 
 // LogSumUtility is the paper's NP-hardness gadget (Theorem 3.1):
@@ -30,14 +32,14 @@ func (u *LogSumUtility) GroundSize() int { return len(u.sizes) }
 
 // Eval implements Function.
 func (u *LogSumUtility) Eval(set []int) float64 {
-	seen := make(map[int]bool, len(set))
+	seen := bitset.New(len(u.sizes))
 	var sum float64
 	for _, v := range set {
 		checkElem(v, len(u.sizes))
-		if seen[v] {
+		if seen.Contains(v) {
 			continue
 		}
-		seen[v] = true
+		seen.Add(v)
 		sum += u.sizes[v]
 	}
 	return math.Log1p(sum)
@@ -45,17 +47,22 @@ func (u *LogSumUtility) Eval(set []int) float64 {
 
 // Oracle returns an incremental oracle for the empty set.
 func (u *LogSumUtility) Oracle() *LogSumOracle {
-	return &LogSumOracle{u: u, in: make([]bool, len(u.sizes))}
+	return &LogSumOracle{u: u, in: bitset.New(len(u.sizes))}
 }
 
 // LogSumOracle tracks the running sum of member sizes.
 type LogSumOracle struct {
 	u   *LogSumUtility
-	in  []bool
+	in  bitset.Bitset
 	sum float64
 }
 
-var _ RemovalOracle = (*LogSumOracle)(nil)
+var (
+	_ RemovalOracle = (*LogSumOracle)(nil)
+	_ BulkGainer    = (*LogSumOracle)(nil)
+	_ BulkLosser    = (*LogSumOracle)(nil)
+	_ StateCopier   = (*LogSumOracle)(nil)
+)
 
 // Value implements Oracle.
 func (o *LogSumOracle) Value() float64 { return math.Log1p(o.sum) }
@@ -63,44 +70,77 @@ func (o *LogSumOracle) Value() float64 { return math.Log1p(o.sum) }
 // Contains implements Oracle.
 func (o *LogSumOracle) Contains(v int) bool {
 	checkElem(v, len(o.u.sizes))
-	return o.in[v]
+	return o.in.Contains(v)
 }
 
 // Gain implements Oracle.
 func (o *LogSumOracle) Gain(v int) float64 {
 	checkElem(v, len(o.u.sizes))
-	if o.in[v] {
+	if o.in.Contains(v) {
 		return 0
 	}
 	return math.Log1p(o.sum+o.u.sizes[v]) - math.Log1p(o.sum)
 }
 
+// BulkGain implements BulkGainer; every element's gain is independent,
+// so the bulk form is a single contiguous sweep over sizes.
+func (o *LogSumOracle) BulkGain(out []float64) {
+	n := len(o.u.sizes)
+	if len(out) != n {
+		panic(fmt.Sprintf("submodular: BulkGain buffer %d != ground size %d", len(out), n))
+	}
+	base := math.Log1p(o.sum)
+	for v := 0; v < n; v++ {
+		if o.in.Contains(v) {
+			out[v] = 0
+		} else {
+			out[v] = math.Log1p(o.sum+o.u.sizes[v]) - base
+		}
+	}
+}
+
 // Add implements Oracle.
 func (o *LogSumOracle) Add(v int) {
 	checkElem(v, len(o.u.sizes))
-	if o.in[v] {
+	if o.in.Contains(v) {
 		return
 	}
-	o.in[v] = true
+	o.in.Add(v)
 	o.sum += o.u.sizes[v]
 }
 
 // Loss implements RemovalOracle.
 func (o *LogSumOracle) Loss(v int) float64 {
 	checkElem(v, len(o.u.sizes))
-	if !o.in[v] {
+	if !o.in.Contains(v) {
 		return 0
 	}
 	return math.Log1p(o.sum) - math.Log1p(o.sum-o.u.sizes[v])
 }
 
+// BulkLoss implements BulkLosser.
+func (o *LogSumOracle) BulkLoss(out []float64) {
+	n := len(o.u.sizes)
+	if len(out) != n {
+		panic(fmt.Sprintf("submodular: BulkLoss buffer %d != ground size %d", len(out), n))
+	}
+	base := math.Log1p(o.sum)
+	for v := 0; v < n; v++ {
+		if o.in.Contains(v) {
+			out[v] = base - math.Log1p(o.sum-o.u.sizes[v])
+		} else {
+			out[v] = 0
+		}
+	}
+}
+
 // Remove implements RemovalOracle.
 func (o *LogSumOracle) Remove(v int) {
 	checkElem(v, len(o.u.sizes))
-	if !o.in[v] {
+	if !o.in.Contains(v) {
 		return
 	}
-	o.in[v] = false
+	o.in.Remove(v)
 	o.sum -= o.u.sizes[v]
 }
 
@@ -111,7 +151,17 @@ func (o *LogSumOracle) ConcurrentReadSafe() bool { return true }
 
 // Clone implements Oracle.
 func (o *LogSumOracle) Clone() Oracle {
-	return &LogSumOracle{u: o.u, in: append([]bool(nil), o.in...), sum: o.sum}
+	return &LogSumOracle{u: o.u, in: o.in.Clone(), sum: o.sum}
+}
+
+// CopyStateFrom implements StateCopier.
+func (o *LogSumOracle) CopyStateFrom(src Oracle) bool {
+	s, ok := src.(*LogSumOracle)
+	if !ok || s.u != o.u || !o.in.CopyFrom(s.in) {
+		return false
+	}
+	o.sum = s.sum
+	return true
 }
 
 // ConcaveCardinalityUtility is U(S) = g(|S|) for a concave
@@ -168,12 +218,12 @@ func (u *ConcaveCardinalityUtility) GroundSize() int { return u.n }
 
 // Eval implements Function.
 func (u *ConcaveCardinalityUtility) Eval(set []int) float64 {
-	seen := make(map[int]bool, len(set))
+	seen := bitset.New(u.n)
 	for _, v := range set {
 		checkElem(v, u.n)
-		seen[v] = true
+		seen.Add(v)
 	}
-	return u.prefG[len(seen)]
+	return u.prefG[seen.Count()]
 }
 
 // SumFunction is the sum of several submodular functions over the same

@@ -1,0 +1,106 @@
+package submodular
+
+import (
+	"reflect"
+	"sort"
+)
+
+// MapOracle is the original map[int]bool-backed re-evaluating oracle,
+// retained verbatim as the representation-independent reference for the
+// flat (CSR + bitset) data layer: the cross-representation property
+// tests drive random instances through MapOracle and the specialized
+// oracles side by side and require agreement to 1e-12, and the
+// memory-layout benchmark uses it to quantify what the flat layout
+// buys. New code should use EvalOracle (same semantics, no per-query
+// map traffic) or a specialized oracle.
+type MapOracle struct {
+	fn  Function
+	set map[int]bool
+	cur float64
+}
+
+var _ RemovalOracle = (*MapOracle)(nil)
+
+// NewMapOracle returns a map-backed oracle over fn representing the
+// empty set.
+func NewMapOracle(fn Function) *MapOracle {
+	return &MapOracle{fn: fn, set: make(map[int]bool)}
+}
+
+func (o *MapOracle) members() []int {
+	s := make([]int, 0, len(o.set))
+	for v := range o.set {
+		s = append(s, v)
+	}
+	sort.Ints(s)
+	return s
+}
+
+// Value implements Oracle.
+func (o *MapOracle) Value() float64 { return o.cur }
+
+// Contains implements Oracle.
+func (o *MapOracle) Contains(v int) bool { return o.set[v] }
+
+// Gain implements Oracle.
+func (o *MapOracle) Gain(v int) float64 {
+	if o.set[v] {
+		return 0
+	}
+	s := append(o.members(), v)
+	return o.fn.Eval(s) - o.cur
+}
+
+// Add implements Oracle.
+func (o *MapOracle) Add(v int) {
+	if o.set[v] {
+		return
+	}
+	o.set[v] = true
+	o.cur = o.fn.Eval(o.members())
+}
+
+// Loss implements RemovalOracle.
+func (o *MapOracle) Loss(v int) float64 {
+	if !o.set[v] {
+		return 0
+	}
+	s := o.members()
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return o.cur - o.fn.Eval(out)
+}
+
+// Remove implements RemovalOracle.
+func (o *MapOracle) Remove(v int) {
+	if !o.set[v] {
+		return
+	}
+	delete(o.set, v)
+	o.cur = o.fn.Eval(o.members())
+}
+
+// Clone implements Oracle.
+func (o *MapOracle) Clone() Oracle {
+	c := &MapOracle{fn: o.fn, set: make(map[int]bool, len(o.set)), cur: o.cur}
+	for v := range o.set {
+		c.set[v] = true
+	}
+	return c
+}
+
+// sameFunction reports whether two Function values are the same,
+// guarding the interface comparison so that uncomparable dynamic types
+// (e.g. struct functions containing slices) report false instead of
+// panicking.
+func sameFunction(a, b Function) bool {
+	ta := reflect.TypeOf(a)
+	if ta == nil || ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}

@@ -12,7 +12,8 @@ package submodular
 import (
 	"fmt"
 	"math"
-	"sort"
+
+	"cool/internal/bitset"
 )
 
 // Function is a set function over the ground set {0, …, GroundSize()−1}.
@@ -82,46 +83,95 @@ func ReadsAreConcurrentSafe(o Oracle) bool {
 	return ok && c.ConcurrentReadSafe()
 }
 
+// BulkGainer is implemented by oracles that can evaluate the marginal
+// gain of every ground-set element in one pass. BulkGain must write
+// Gain(v) into out[v] for every v (0 for current members), with out
+// bit-identical to GroundSize individual Gain calls — the scheduling
+// engines rely on that equality to stay deterministic across the bulk
+// and per-element paths. len(out) must equal the ground size. BulkGain
+// must not mutate oracle state and must not allocate.
+//
+// The point of the bulk form is memory order: the CSR-backed oracles
+// sweep the target→sensors incidence target-major (contiguous reads,
+// accumulating into the small out array) instead of n independent
+// sensor-major row walks, which is substantially faster when the
+// scheduler refreshes a whole slot column at once.
+type BulkGainer interface {
+	BulkGain(out []float64)
+}
+
+// BulkLosser is the removal-side dual of BulkGainer: BulkLoss writes
+// Loss(v) into out[v] for every member v and 0 for non-members,
+// bit-identical to individual Loss calls.
+type BulkLosser interface {
+	BulkLoss(out []float64)
+}
+
+// StateCopier is implemented by oracles that can adopt another
+// oracle's current set without allocating. CopyStateFrom overwrites
+// the receiver's state with src's and reports whether it succeeded;
+// false (receiver unchanged) means src is incompatible — a different
+// concrete type, a different underlying utility, or a different ground
+// size. The parallel engine's replica pool uses it to recycle
+// Clone()-derived per-worker oracle sets across runs instead of
+// allocating fresh ones.
+type StateCopier interface {
+	CopyStateFrom(src Oracle) bool
+}
+
 // EvalOracle builds an oracle for an arbitrary Function by re-evaluating
 // it on every query. It is the correctness yardstick the specialized
 // oracles are tested against, and the fallback for user-supplied
 // functions without an incremental form.
 //
+// Membership is a bitset and the member list handed to Eval is a
+// reusable scratch buffer — a Gain query allocates nothing beyond what
+// the wrapped Function's Eval itself allocates. MapOracle retains the
+// original map[int]bool representation as a cross-checking reference.
+//
 // EvalOracle deliberately does not implement ConcurrentReadSafe: it
 // cannot vouch for the wrapped Function's Eval being safe under
-// concurrent calls, so the parallel engine falls back to Clone-based
+// concurrent calls, and its scratch buffer makes even its own queries
+// mutually exclusive; the parallel engine falls back to Clone-based
 // per-worker replicas for it.
 type EvalOracle struct {
-	fn  Function
-	set map[int]bool
-	cur float64
+	fn      Function
+	set     bitset.Bitset
+	scratch []int
+	cur     float64
 }
 
-var _ RemovalOracle = (*EvalOracle)(nil)
+var (
+	_ RemovalOracle = (*EvalOracle)(nil)
+	_ StateCopier   = (*EvalOracle)(nil)
+)
 
 // NewEvalOracle returns an oracle over fn representing the empty set.
 func NewEvalOracle(fn Function) *EvalOracle {
-	return &EvalOracle{fn: fn, set: make(map[int]bool)}
+	n := fn.GroundSize()
+	return &EvalOracle{fn: fn, set: bitset.New(n), scratch: make([]int, 0, n+1)}
 }
 
+// members fills the scratch buffer with the current set in ascending
+// order (a bitset sweep; no sort needed) and returns it.
 func (o *EvalOracle) members() []int {
-	s := make([]int, 0, len(o.set))
-	for v := range o.set {
-		s = append(s, v)
-	}
-	sort.Ints(s)
-	return s
+	o.scratch = o.set.AppendMembers(o.scratch[:0])
+	return o.scratch
 }
 
 // Value implements Oracle.
 func (o *EvalOracle) Value() float64 { return o.cur }
 
 // Contains implements Oracle.
-func (o *EvalOracle) Contains(v int) bool { return o.set[v] }
+func (o *EvalOracle) Contains(v int) bool {
+	checkElem(v, o.set.Len())
+	return o.set.Contains(v)
+}
 
 // Gain implements Oracle.
 func (o *EvalOracle) Gain(v int) float64 {
-	if o.set[v] {
+	checkElem(v, o.set.Len())
+	if o.set.Contains(v) {
 		return 0
 	}
 	s := append(o.members(), v)
@@ -130,16 +180,18 @@ func (o *EvalOracle) Gain(v int) float64 {
 
 // Add implements Oracle.
 func (o *EvalOracle) Add(v int) {
-	if o.set[v] {
+	checkElem(v, o.set.Len())
+	if o.set.Contains(v) {
 		return
 	}
-	o.set[v] = true
+	o.set.Add(v)
 	o.cur = o.fn.Eval(o.members())
 }
 
 // Loss implements RemovalOracle.
 func (o *EvalOracle) Loss(v int) float64 {
-	if !o.set[v] {
+	checkElem(v, o.set.Len())
+	if !o.set.Contains(v) {
 		return 0
 	}
 	s := o.members()
@@ -154,20 +206,35 @@ func (o *EvalOracle) Loss(v int) float64 {
 
 // Remove implements RemovalOracle.
 func (o *EvalOracle) Remove(v int) {
-	if !o.set[v] {
+	checkElem(v, o.set.Len())
+	if !o.set.Contains(v) {
 		return
 	}
-	delete(o.set, v)
+	o.set.Remove(v)
 	o.cur = o.fn.Eval(o.members())
 }
 
 // Clone implements Oracle.
 func (o *EvalOracle) Clone() Oracle {
-	c := &EvalOracle{fn: o.fn, set: make(map[int]bool, len(o.set)), cur: o.cur}
-	for v := range o.set {
-		c.set[v] = true
+	return &EvalOracle{
+		fn:      o.fn,
+		set:     o.set.Clone(),
+		scratch: make([]int, 0, o.set.Len()+1),
+		cur:     o.cur,
 	}
-	return c
+}
+
+// CopyStateFrom implements StateCopier. Two EvalOracles are compatible
+// when they wrap the same Function value; the comparison is guarded so
+// uncomparable Function implementations degrade to "incompatible"
+// rather than panicking.
+func (o *EvalOracle) CopyStateFrom(src Oracle) bool {
+	s, ok := src.(*EvalOracle)
+	if !ok || !sameFunction(o.fn, s.fn) || !o.set.CopyFrom(s.set) {
+		return false
+	}
+	o.cur = s.cur
+	return true
 }
 
 // checkElem panics with a descriptive message when v is outside the

@@ -63,7 +63,7 @@ func (p *Planner) LazyGreedy() (*Schedule, error) {
 
 // ParallelGreedy computes a schedule bit-identical to Greedy's with the
 // marginal-gain scans sharded across up to workers goroutines (0 or
-// negative selects runtime.GOMAXPROCS). The utility's oracles must be
+// negative selects runtime.NumCPU). The utility's oracles must be
 // safe for concurrent read-only queries or support Clone; every utility
 // constructed by this package qualifies.
 func (p *Planner) ParallelGreedy(workers int) (*Schedule, error) {

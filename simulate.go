@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cool/internal/energy"
+	"cool/internal/parallel"
 	"cool/internal/sim"
 	"cool/internal/solar"
 	"cool/internal/stats"
@@ -66,7 +67,7 @@ type (
 )
 
 // RunMonteCarlo executes reps independent replications of cfg on up to
-// workers goroutines (0 or negative selects runtime.GOMAXPROCS) and
+// workers goroutines (0 or negative selects runtime.NumCPU) and
 // merges their summaries deterministically: the result is identical for
 // every worker count. Replication i runs with the derived seed
 // ReplicationSeed(cfg.Seed, i).
@@ -77,6 +78,12 @@ func RunMonteCarlo(cfg SimConfig, reps, workers int) (*MonteCarloResult, error) 
 // ReplicationSeed derives the seed of Monte-Carlo replication i from a
 // base seed, independent of worker count and scheduling order.
 func ReplicationSeed(base uint64, i int) uint64 { return sim.ReplicationSeed(base, i) }
+
+// ResolveWorkers normalizes a requested worker count exactly like every
+// parallel engine in the library: values <= 0 select runtime.NumCPU(),
+// anything else is returned unchanged. Tools use it to report the
+// effective worker count a run executed with.
+func ResolveWorkers(requested int) int { return parallel.Workers(requested) }
 
 // Solar / trace re-exports: the simulated measurement substrate.
 type (
