@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel bench-mem figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid figures examples fuzz clean
 
 all: build vet test
 
@@ -40,6 +40,14 @@ bench-mem:
 	$(GO) test -run xxx -bench 'Oracle|Gain' -benchmem -benchtime 100x ./internal/submodular/
 	$(GO) run ./cmd/coolbench -fig memlayout -quick
 
+# Grid-index smoke pass: vet, then the spatial-hash build/query
+# benchmarks with allocation reporting (CandidatesInto must report
+# 0 allocs/op), then the quick brute-vs-grid incidence comparison.
+bench-grid:
+	$(GO) vet ./...
+	$(GO) test -run xxx -bench 'Grid' -benchmem -benchtime 100x ./internal/geometry/grid/
+	$(GO) run ./cmd/coolbench -fig grid -quick
+
 # Regenerate every paper figure and ablation into results/.
 figures:
 	$(GO) run ./cmd/coolbench -fig all -out results/
@@ -54,6 +62,7 @@ examples:
 fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzScheduleJSON -fuzztime 30s
 	$(GO) test ./internal/lp/ -fuzz FuzzSolveRobustness -fuzztime 30s
+	$(GO) test ./internal/geometry/grid/ -fuzz FuzzGridCandidates -fuzztime 30s
 
 clean:
 	rm -rf results/ testdata/fuzz

@@ -201,3 +201,40 @@ func TestRunQuickFig9WorkersFlag(t *testing.T) {
 		t.Error("fig9 output depends on -workers")
 	}
 }
+
+func TestRunGridBenchWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "grid", "-quick", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "grid-bench") {
+		t.Errorf("output missing grid-bench figure:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Cases []map[string]any `json:"cases"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_grid.json not valid JSON: %v", err)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("quick grid bench has %d cases, want 2", len(res.Cases))
+	}
+	for i, c := range res.Cases {
+		for _, key := range []string{
+			"sensors", "targets", "edges", "brute_ns_op", "grid_ns_op",
+			"speedup", "incidence_identical",
+		} {
+			if _, ok := c[key]; !ok {
+				t.Errorf("case %d missing key %q", i, key)
+			}
+		}
+		if id, _ := c["incidence_identical"].(bool); !id {
+			t.Errorf("case %d: incidence_identical = false", i)
+		}
+	}
+}

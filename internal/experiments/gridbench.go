@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cool/internal/geometry"
+	"cool/internal/stats"
+	"cool/internal/wsn"
+)
+
+// This file is the incidence-construction benchmark behind `coolbench
+// -fig grid`: wsn.NewNetwork's spatial-hash (grid-indexed) coverage
+// construction against wsn.NewNetworkBruteForce's O(n·m) pairwise scan
+// on identical deployments. The two constructions must produce exactly
+// the same incidence — same V(O_j) lists, same order — so the benchmark
+// doubles as an end-to-end equality audit on deployment sizes the unit
+// tests never reach.
+
+// GridConfig parameterizes the incidence-construction benchmark.
+type GridConfig struct {
+	// Sizes lists the sensor counts to benchmark (default 1000, 10000,
+	// 100000). Targets are Sizes[i]/10.
+	Sizes []int
+	// FieldSide is the square deployment field's side (default 1000).
+	FieldSide float64
+	// Degree is the target mean coverage degree; the sensing range at
+	// each size is solved from Degree = π·r²·n/|Ω| so edge density stays
+	// constant as n grows (default 12).
+	Degree float64
+	// Iters is the timing repetitions per construction at each size; the
+	// minimum is reported. Sizes above 20000 always use a single
+	// iteration (default 3).
+	Iters int
+	// Seed drives deployment randomness.
+	Seed uint64
+}
+
+func (c *GridConfig) defaults() error {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1000, 10000, 100000}
+	}
+	if c.FieldSide == 0 {
+		c.FieldSide = 1000
+	}
+	if c.Degree == 0 {
+		c.Degree = 12
+	}
+	if c.Iters == 0 {
+		c.Iters = 3
+	}
+	for _, n := range c.Sizes {
+		if n < 20 {
+			return fmt.Errorf("experiments: grid bench size %d too small", n)
+		}
+	}
+	if c.Iters < 1 || c.FieldSide < 0 || c.Degree <= 0 {
+		return fmt.Errorf("experiments: invalid grid bench config %+v", *c)
+	}
+	return nil
+}
+
+// GridCase is the brute-vs-grid measurement at one deployment size.
+type GridCase struct {
+	Sensors int     `json:"sensors"`
+	Targets int     `json:"targets"`
+	Range   float64 `json:"range"`
+	// Edges is the number of (sensor, target) coverage pairs.
+	Edges int `json:"edges"`
+	// MeanDegree is the mean number of sensors covering a target.
+	MeanDegree float64 `json:"mean_degree"`
+	// BruteNsOp / GridNsOp time one full incidence construction (best of
+	// Iters) via NewNetworkBruteForce and NewNetwork respectively.
+	BruteNsOp int64 `json:"brute_ns_op"`
+	GridNsOp  int64 `json:"grid_ns_op"`
+	// Speedup is BruteNsOp / GridNsOp.
+	Speedup float64 `json:"speedup"`
+	// Alloc metering for one construction (runtime.MemStats deltas).
+	BruteAllocsPerOp uint64 `json:"brute_allocs_per_op"`
+	GridAllocsPerOp  uint64 `json:"grid_allocs_per_op"`
+	BruteBytesPerOp  uint64 `json:"brute_bytes_per_op"`
+	GridBytesPerOp   uint64 `json:"grid_bytes_per_op"`
+	// IncidenceIdentical records that the two constructions produced
+	// exactly the same Coverers and CoveredTargets lists (same IDs, same
+	// ascending order) — the bit-identity contract everything downstream
+	// (CSR, float accumulation, greedy schedules) rests on.
+	IncidenceIdentical bool `json:"incidence_identical"`
+}
+
+// GridResult is the machine-readable summary coolbench writes to
+// BENCH_grid.json.
+type GridResult struct {
+	FieldSide float64    `json:"field_side"`
+	Degree    float64    `json:"degree"`
+	Cases     []GridCase `json:"cases"`
+}
+
+// incidenceEqual reports whether the two networks have exactly the same
+// coverage relation: identical Coverers(j) for every target and
+// identical CoveredTargets(i) for every sensor, element for element.
+func incidenceEqual(a, b *wsn.Network) bool {
+	if a.NumSensors() != b.NumSensors() || a.NumTargets() != b.NumTargets() {
+		return false
+	}
+	for j := 0; j < a.NumTargets(); j++ {
+		if !intsEqual(a.Coverers(j), b.Coverers(j)) {
+			return false
+		}
+	}
+	for i := 0; i < a.NumSensors(); i++ {
+		if !intsEqual(a.CoveredTargets(i), b.CoveredTargets(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// GridBench runs the brute-vs-grid incidence construction comparison
+// across the configured sizes and returns both a renderable Figure and
+// the raw machine-readable result.
+func GridBench(cfg GridConfig) (*Figure, *GridResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	res := &GridResult{FieldSide: cfg.FieldSide, Degree: cfg.Degree}
+	fig := &Figure{
+		ID:     "grid-bench",
+		Title:  fmt.Sprintf("Incidence construction: grid index vs O(n·m) brute force, degree≈%.0f", cfg.Degree),
+		XLabel: "sensors",
+		YLabel: "construction milliseconds",
+	}
+	bruteSeries := Series{Label: "brute-force"}
+	gridSeries := Series{Label: "grid-index"}
+
+	for _, n := range cfg.Sizes {
+		m := n / 10
+		field := geometry.NewRect(geometry.Point{}, geometry.Point{X: cfg.FieldSide, Y: cfg.FieldSide})
+		// Solve Degree = π r² n / |Ω| for r, keeping edge density flat
+		// across sizes so the speedup isolates the construction
+		// algorithm rather than a densifying workload.
+		r := math.Sqrt(cfg.Degree * field.Area() / (math.Pi * float64(n)))
+		net, err := wsn.Deploy(wsn.DeployConfig{
+			Field:   field,
+			Sensors: n,
+			Targets: m,
+			Range:   r,
+		}, stats.NewRNG(cfg.Seed+uint64(n)))
+		if err != nil {
+			return nil, nil, err
+		}
+		sensors := net.Sensors()
+		targets := net.Targets()
+
+		iters := cfg.Iters
+		if n > 20000 {
+			iters = 1
+		}
+		// One untimed warmup of each construction at small sizes so page
+		// faults and cold caches do not bias the first timed iteration;
+		// at n > 20000 the brute-force scan is seconds long and a warmup
+		// would double the run for no statistical gain.
+		var bruteNet, gridNet *wsn.Network
+		if n <= 20000 {
+			if bruteNet, err = wsn.NewNetworkBruteForce(sensors, targets); err != nil {
+				return nil, nil, err
+			}
+			if gridNet, err = wsn.NewNetwork(sensors, targets); err != nil {
+				return nil, nil, err
+			}
+		}
+
+		var bruteNs, gridNs int64 = -1, -1
+		var bruteAllocs, gridAllocs, bruteBytes, gridBytes uint64
+		for i := 0; i < iters; i++ {
+			ns, allocs, bytes, err := measureRun(func() error {
+				bruteNet, err = wsn.NewNetworkBruteForce(sensors, targets)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if bruteNs < 0 || ns < bruteNs {
+				bruteNs, bruteAllocs, bruteBytes = ns, allocs, bytes
+			}
+			ns, allocs, bytes, err = measureRun(func() error {
+				gridNet, err = wsn.NewNetwork(sensors, targets)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if gridNs < 0 || ns < gridNs {
+				gridNs, gridAllocs, gridBytes = ns, allocs, bytes
+			}
+		}
+
+		identical := incidenceEqual(bruteNet, gridNet)
+		edges := 0
+		for j := 0; j < gridNet.NumTargets(); j++ {
+			edges += len(gridNet.Coverers(j))
+		}
+		_, meanDeg, _ := gridNet.CoverageDegreeStats()
+
+		c := GridCase{
+			Sensors:            n,
+			Targets:            m,
+			Range:              r,
+			Edges:              edges,
+			MeanDegree:         meanDeg,
+			BruteNsOp:          bruteNs,
+			GridNsOp:           gridNs,
+			Speedup:            float64(bruteNs) / float64(gridNs),
+			BruteAllocsPerOp:   bruteAllocs,
+			GridAllocsPerOp:    gridAllocs,
+			BruteBytesPerOp:    bruteBytes,
+			GridBytesPerOp:     gridBytes,
+			IncidenceIdentical: identical,
+		}
+		res.Cases = append(res.Cases, c)
+		bruteSeries.X = append(bruteSeries.X, float64(n))
+		bruteSeries.Y = append(bruteSeries.Y, float64(bruteNs)/1e6)
+		gridSeries.X = append(gridSeries.X, float64(n))
+		gridSeries.Y = append(gridSeries.Y, float64(gridNs)/1e6)
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"n=%d m=%d r=%.1f: %.2fx speedup (%.2fms → %.2fms), %d edges (deg %.1f), identical=%v",
+			n, m, r, c.Speedup, float64(bruteNs)/1e6, float64(gridNs)/1e6, edges, meanDeg, identical))
+	}
+	fig.Series = []Series{bruteSeries, gridSeries}
+	return fig, res, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"cool/internal/core"
+	"cool/internal/energy"
+	"cool/internal/geometry"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+	"cool/internal/wsn"
+)
+
+// TestGridBenchQuick runs the incidence-construction benchmark on
+// reduced sizes and asserts the invariants coolbench publishes: both
+// constructions succeed, the incidence comes out identical, and the
+// JSON-facing fields are populated sensibly.
+func TestGridBenchQuick(t *testing.T) {
+	cfg := GridConfig{Sizes: []int{200, 600}, Iters: 1, Seed: 11}
+	fig, res, err := GridBench(cfg)
+	if err != nil {
+		t.Fatalf("GridBench: %v", err)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if !c.IncidenceIdentical {
+			t.Errorf("n=%d: incidence not identical between brute and grid construction", c.Sensors)
+		}
+		if c.Edges <= 0 {
+			t.Errorf("n=%d: no coverage edges; range %v too small for the field", c.Sensors, c.Range)
+		}
+		if c.BruteNsOp <= 0 || c.GridNsOp <= 0 {
+			t.Errorf("n=%d: non-positive timings %d/%d", c.Sensors, c.BruteNsOp, c.GridNsOp)
+		}
+		if math.IsNaN(c.Speedup) || c.Speedup <= 0 {
+			t.Errorf("n=%d: bad speedup %v", c.Sensors, c.Speedup)
+		}
+		if c.MeanDegree <= 0 {
+			t.Errorf("n=%d: bad mean degree %v", c.Sensors, c.MeanDegree)
+		}
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != len(res.Cases) || len(s.Y) != len(res.Cases) {
+			t.Errorf("series %q has %d/%d points, want %d", s.Label, len(s.X), len(s.Y), len(res.Cases))
+		}
+	}
+}
+
+// TestGridBenchRejectsBadConfig exercises the config validation.
+func TestGridBenchRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]GridConfig{
+		"tiny-size":       {Sizes: []int{5}},
+		"negative-degree": {Degree: -1},
+		"zero-iters":      {Iters: -2},
+	} {
+		if _, _, err := GridBench(cfg); err == nil {
+			t.Errorf("%s: config %+v accepted, want error", name, cfg)
+		}
+	}
+}
+
+// TestScheduleBitIdentityGridVsBrute is the end-to-end identity gate:
+// the full pipeline — deployment → incidence → detection utility →
+// greedy planner — must produce bit-identical schedules whether the
+// incidence was built by the grid index or the brute-force scan. Any
+// reordering of coverage edges would perturb the CSR value arrays,
+// change float accumulation order, and surface here as a diverging
+// argmax; all four planner variants are checked.
+func TestScheduleBitIdentityGridVsBrute(t *testing.T) {
+	period, err := energy.PeriodFromRho(7)
+	if err != nil {
+		t.Fatalf("PeriodFromRho: %v", err)
+	}
+	for _, layout := range []wsn.Layout{wsn.LayoutUniform, wsn.LayoutGrid, wsn.LayoutClustered} {
+		net, err := wsn.Deploy(wsn.DeployConfig{
+			Field:   geometry.NewRect(geometry.Point{}, geometry.Point{X: 300, Y: 300}),
+			Sensors: 160,
+			Targets: 48,
+			Range:   60,
+			Layout:  layout,
+		}, stats.NewRNG(400+uint64(layout)))
+		if err != nil {
+			t.Fatalf("%v: Deploy: %v", layout, err)
+		}
+		sensors := net.Sensors()
+		targets := net.Targets()
+		gridNet, err := wsn.NewNetwork(sensors, targets)
+		if err != nil {
+			t.Fatalf("%v: NewNetwork: %v", layout, err)
+		}
+		bruteNet, err := wsn.NewNetworkBruteForce(sensors, targets)
+		if err != nil {
+			t.Fatalf("%v: NewNetworkBruteForce: %v", layout, err)
+		}
+		if !incidenceEqual(gridNet, bruteNet) {
+			t.Fatalf("%v: incidence differs between constructions", layout)
+		}
+		for _, model := range []wsn.DetectionModel{
+			wsn.FixedProb(0.4),
+			wsn.DistanceDecay{PMax: 0.9, Gamma: 2},
+		} {
+			gridU, err := wsn.BuildDetectionUtility(gridNet, model)
+			if err != nil {
+				t.Fatalf("%v: BuildDetectionUtility(grid): %v", layout, err)
+			}
+			bruteU, err := wsn.BuildDetectionUtility(bruteNet, model)
+			if err != nil {
+				t.Fatalf("%v: BuildDetectionUtility(brute): %v", layout, err)
+			}
+			gridIn := core.Instance{
+				N:       gridNet.NumSensors(),
+				Period:  period,
+				Factory: func() submodular.RemovalOracle { return gridU.Oracle() },
+			}
+			bruteIn := core.Instance{
+				N:       bruteNet.NumSensors(),
+				Period:  period,
+				Factory: func() submodular.RemovalOracle { return bruteU.Oracle() },
+			}
+			type planner struct {
+				name string
+				run  func(core.Instance) (*core.Schedule, error)
+			}
+			for _, pl := range []planner{
+				{"ReferenceGreedy", core.ReferenceGreedy},
+				{"Greedy", core.Greedy},
+				{"LazyGreedy", core.LazyGreedy},
+				{"ParallelGreedy", func(in core.Instance) (*core.Schedule, error) {
+					return core.ParallelGreedy(in, 4)
+				}},
+			} {
+				g, err := pl.run(gridIn)
+				if err != nil {
+					t.Fatalf("%v/%T/%s on grid network: %v", layout, model, pl.name, err)
+				}
+				b, err := pl.run(bruteIn)
+				if err != nil {
+					t.Fatalf("%v/%T/%s on brute network: %v", layout, model, pl.name, err)
+				}
+				if !assignEqual(g.Assignment(), b.Assignment()) {
+					t.Errorf("%v/%T/%s: schedules differ between grid and brute incidence", layout, model, pl.name)
+				}
+				gv := g.PeriodUtility(gridIn.Factory)
+				bv := b.PeriodUtility(bruteIn.Factory)
+				if math.Float64bits(gv) != math.Float64bits(bv) {
+					t.Errorf("%v/%T/%s: objective %v vs %v not bit-identical", layout, model, pl.name, gv, bv)
+				}
+			}
+		}
+	}
+}

@@ -22,10 +22,9 @@ func SubdivideAdaptive(omega Rect, regions []Region, cellsPerSide, refine int) (
 	if omega.Width() <= 0 || omega.Height() <= 0 {
 		return nil, fmt.Errorf("geometry: degenerate region Ω")
 	}
-	for i, reg := range regions {
-		if reg == nil {
-			return nil, fmt.Errorf("geometry: region %d is nil", i)
-		}
+	ri, err := newRegionIndex(regions)
+	if err != nil {
+		return nil, err
 	}
 	dx := omega.Width() / float64(cellsPerSide)
 	dy := omega.Height() / float64(cellsPerSide)
@@ -40,12 +39,7 @@ func SubdivideAdaptive(omega Rect, regions []Region, cellsPerSide, refine int) (
 	cells := make(map[string]*accum)
 	sig := make([]int, 0, 16)
 	signatureAt := func(p Point) []int {
-		sig = sig[:0]
-		for i, reg := range regions {
-			if reg.Contains(p) {
-				sig = append(sig, i)
-			}
-		}
+		sig = ri.signatureAt(sig[:0], regions, p)
 		return sig
 	}
 	deposit := func(key string, covers []int, area, x, y float64) {

@@ -1,0 +1,104 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzItems deterministically expands a seed into an item population
+// using a splitmix64 stream (the same generator discipline as
+// stats.RNG). Low bits of the per-item draw select degenerate shapes:
+// zero reach, lattice-aligned anchors, coincident anchors, non-finite
+// anchors/reaches (overflow bucket), and huge reaches that force
+// single-cell axes.
+func fuzzItems(seed uint64, n int, span float64) []Item {
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	unit := func() float64 { return float64(next()>>11) / (1 << 53) }
+	items := make([]Item, n)
+	for i := range items {
+		p := Point{unit() * span, unit() * span}
+		reach := unit() * span / 8
+		switch next() % 16 {
+		case 0:
+			reach = 0
+		case 1:
+			p = Point{math.Floor(p.X), math.Floor(p.Y)} // lattice anchor
+		case 2:
+			p = Point{span / 2, span / 2} // coincident cluster
+		case 3:
+			reach = span * 4 // dwarfs the field: single-cell regime
+		case 4:
+			p.X = math.NaN()
+		case 5:
+			reach = math.Inf(1)
+		}
+		items[i] = Item{Pos: p, Reach: reach}
+	}
+	return items
+}
+
+// FuzzGridCandidates asserts the index's full contract on arbitrary
+// populations and query points: Candidates(p) ⊇ the items whose
+// reach-box contains p, with no duplicates, no out-of-range IDs, and
+// strictly ascending order — and never panics.
+func FuzzGridCandidates(f *testing.F) {
+	f.Add(uint64(1), uint16(32), 100.0, 50.0, 50.0)
+	f.Add(uint64(7), uint16(0), 1.0, 0.0, 0.0)              // empty population
+	f.Add(uint64(42), uint16(200), 1000.0, -250.0, 1250.0)  // queries outside the box
+	f.Add(uint64(9), uint16(3), 10.0, 10.0, 10.0)           // far-corner boundary
+	f.Add(uint64(13), uint16(64), 1e-3, 5e-4, 5e-4)         // tiny field
+	f.Add(uint64(99), uint16(128), 1e300, 1e300, -1e300)    // huge coordinates
+	f.Add(uint64(5), uint16(50), 100.0, math.NaN(), 0.0)    // NaN query
+	f.Add(uint64(6), uint16(50), 100.0, math.Inf(1), 100.0) // infinite query
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, span, qx, qy float64) {
+		if !(span > 0) || math.IsInf(span, 0) {
+			span = 1
+		}
+		items := fuzzItems(seed, int(n%512), span)
+		ix := Build(items)
+		if ix.Len() != len(items) {
+			t.Fatalf("Len = %d, want %d", ix.Len(), len(items))
+		}
+		queries := []Point{{qx, qy}}
+		// Also probe a few anchors and reach-corners so every seed
+		// exercises covered queries, not just the fuzzed point.
+		for i := 0; i < len(items) && i < 8; i++ {
+			it := items[i]
+			queries = append(queries, it.Pos,
+				Point{it.Pos.X + it.Reach, it.Pos.Y},
+				Point{it.Pos.X, it.Pos.Y - it.Reach})
+		}
+		buf := make([]int32, 0, len(items))
+		for _, p := range queries {
+			buf = ix.CandidatesInto(buf, p)
+			prev := int32(-1)
+			for _, id := range buf {
+				if id < 0 || int(id) >= len(items) {
+					t.Fatalf("query %v: candidate %d outside [0,%d)", p, id, len(items))
+				}
+				if id <= prev {
+					t.Fatalf("query %v: duplicate or unordered candidate %d after %d", p, id, prev)
+				}
+				prev = id
+			}
+			// Superset: walk candidates and items in lockstep (both
+			// ascending) to find any obliged item that was missed.
+			k := 0
+			for i, it := range items {
+				for k < len(buf) && int(buf[k]) < i {
+					k++
+				}
+				if mustCover(it, p) && (k >= len(buf) || int(buf[k]) != i) {
+					t.Fatalf("query %v: item %d (%+v) covers the point but is missing", p, i, it)
+				}
+			}
+		}
+	})
+}

@@ -3,8 +3,11 @@ package geometry
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+
+	"cool/internal/geometry/grid"
 )
 
 // Subregion is one cell A_i of the subdivision of the monitored region Ω
@@ -103,32 +106,16 @@ func Subdivide(omega Rect, regions []Region, cellsPerSide int) (*Subdivision, er
 	dy := omega.Height() / float64(cellsPerSide)
 	cellArea := dx * dy
 
-	// Pre-filter regions whose bounding boxes intersect Ω at all, and
-	// bucket them by grid column range to avoid O(cells × n) in sparse
-	// deployments.
-	type regionSpan struct {
-		idx        int
-		region     Region
-		cMin, cMax int
-		rMin, rMax int
-	}
-	spans := make([]regionSpan, 0, len(regions))
-	for i, reg := range regions {
-		if reg == nil {
-			return nil, fmt.Errorf("geometry: region %d is nil", i)
-		}
-		b := reg.Bounds()
-		if !b.Intersects(omega) {
-			continue
-		}
-		cMin := clampIndex(int((b.Min.X-omega.Min.X)/dx), cellsPerSide)
-		cMax := clampIndex(int((b.Max.X-omega.Min.X)/dx), cellsPerSide)
-		rMin := clampIndex(int((b.Min.Y-omega.Min.Y)/dy), cellsPerSide)
-		rMax := clampIndex(int((b.Max.Y-omega.Min.Y)/dy), cellsPerSide)
-		spans = append(spans, regionSpan{
-			idx: i, region: reg,
-			cMin: cMin, cMax: cMax, rMin: rMin, rMax: rMax,
-		})
+	// Index the regions in a spatial hash: each sample point then tests
+	// only the regions whose bounding boxes can contain it, making the
+	// sweep O(cells + Σ candidates) instead of O(cells × n). Candidates
+	// arrive in ascending region index and are filtered by the exact
+	// Contains predicate, so every signature — and hence every key,
+	// accumulation order, and emitted float — is identical to the
+	// brute-force all-regions scan (asserted by the differential test).
+	ri, err := newRegionIndex(regions)
+	if err != nil {
+		return nil, err
 	}
 
 	type accum struct {
@@ -143,15 +130,7 @@ func Subdivide(omega Rect, regions []Region, cellsPerSide int) (*Subdivision, er
 		for col := 0; col < cellsPerSide; col++ {
 			cx := omega.Min.X + (float64(col)+0.5)*dx
 			p := Point{cx, cy}
-			sig = sig[:0]
-			for _, sp := range spans {
-				if col < sp.cMin || col > sp.cMax || row < sp.rMin || row > sp.rMax {
-					continue
-				}
-				if sp.region.Contains(p) {
-					sig = append(sig, sp.idx)
-				}
-			}
+			sig = ri.signatureAt(sig[:0], regions, p)
 			key := signatureKey(sig)
 			a, ok := cells[key]
 			if !ok {
@@ -183,14 +162,49 @@ func Subdivide(omega Rect, regions []Region, cellsPerSide int) (*Subdivision, er
 	return sub, nil
 }
 
-func clampIndex(i, n int) int {
-	if i < 0 {
-		return 0
+// regionIndex is the subdivision sweeps' spatial-hash candidate
+// source: a grid.Index over the regions' bounding boxes (anchored at
+// the box centre with the Chebyshev half-extent as reach) plus a
+// reusable query buffer. Regions with non-finite bounds land in the
+// index's overflow bucket and are tested at every point — conservative
+// but exact, since Contains has the final word.
+type regionIndex struct {
+	ix  *grid.Index
+	buf []int32
+}
+
+func newRegionIndex(regions []Region) (*regionIndex, error) {
+	items := make([]grid.Item, len(regions))
+	for i, reg := range regions {
+		if reg == nil {
+			return nil, fmt.Errorf("geometry: region %d is nil", i)
+		}
+		b := reg.Bounds()
+		cx := (b.Min.X + b.Max.X) / 2
+		cy := (b.Min.Y + b.Max.Y) / 2
+		// One-sided extents (not width/2) so the reach box contains the
+		// bounds even when the midpoint rounding is asymmetric.
+		reach := math.Max(
+			math.Max(cx-b.Min.X, b.Max.X-cx),
+			math.Max(cy-b.Min.Y, b.Max.Y-cy),
+		)
+		items[i] = grid.Item{Pos: grid.Point{X: cx, Y: cy}, Reach: reach}
 	}
-	if i >= n {
-		return n - 1
+	return &regionIndex{ix: grid.Build(items), buf: make([]int32, 0, 64)}, nil
+}
+
+// signatureAt appends the ascending indices of the regions containing
+// p to sig and returns it: grid candidates (ascending, a superset)
+// filtered by the exact Contains predicate — byte-for-byte the
+// signature the all-regions scan produces.
+func (ri *regionIndex) signatureAt(sig []int, regions []Region, p Point) []int {
+	ri.buf = ri.ix.CandidatesInto(ri.buf, grid.Point(p))
+	for _, ci := range ri.buf {
+		if regions[ci].Contains(p) {
+			sig = append(sig, int(ci))
+		}
 	}
-	return i
+	return sig
 }
 
 func compareCovers(a, b []int) int {

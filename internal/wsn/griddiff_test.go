@@ -1,0 +1,342 @@
+package wsn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cool/internal/geometry"
+	"cool/internal/stats"
+)
+
+// This file is the differential test harness for the grid-indexed
+// incidence construction: wsn.NewNetwork (spatial-hash candidates +
+// exact Covers filter) must produce *exactly* the incidence of
+// wsn.NewNetworkBruteForce (the original O(n·m) pairwise scan) — same
+// coverers per target, same covered-target lists per sensor, in the
+// same order. Everything downstream (CSR utilities, float accumulation
+// order, greedy schedules) inherits bit-identity from this equality.
+
+// requireSameIncidence asserts exact equality of the two networks'
+// coverage relations.
+func requireSameIncidence(t *testing.T, gridNet, bruteNet *Network) {
+	t.Helper()
+	if gridNet.NumSensors() != bruteNet.NumSensors() || gridNet.NumTargets() != bruteNet.NumTargets() {
+		t.Fatalf("dimension mismatch: grid %dx%d, brute %dx%d",
+			gridNet.NumSensors(), gridNet.NumTargets(), bruteNet.NumSensors(), bruteNet.NumTargets())
+	}
+	for j := 0; j < gridNet.NumTargets(); j++ {
+		g, b := gridNet.Coverers(j), bruteNet.Coverers(j)
+		if len(g) != len(b) {
+			t.Fatalf("target %d: grid found %d coverers %v, brute %d %v", j, len(g), g, len(b), b)
+		}
+		for k := range g {
+			if g[k] != b[k] {
+				t.Fatalf("target %d coverer %d: grid %d, brute %d", j, k, g[k], b[k])
+			}
+		}
+	}
+	for i := 0; i < gridNet.NumSensors(); i++ {
+		g, b := gridNet.CoveredTargets(i), bruteNet.CoveredTargets(i)
+		if len(g) != len(b) {
+			t.Fatalf("sensor %d: grid covers %d targets %v, brute %d %v", i, len(g), g, len(b), b)
+		}
+		for k := range g {
+			if g[k] != b[k] {
+				t.Fatalf("sensor %d covered %d: grid %d, brute %d", i, k, g[k], b[k])
+			}
+		}
+	}
+}
+
+func buildBoth(t *testing.T, sensors []Sensor, targets []Target) (*Network, *Network) {
+	t.Helper()
+	gridNet, err := NewNetwork(sensors, targets)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	bruteNet, err := NewNetworkBruteForce(sensors, targets)
+	if err != nil {
+		t.Fatalf("NewNetworkBruteForce: %v", err)
+	}
+	return gridNet, bruteNet
+}
+
+// TestGridIncidenceDifferentialDeploy sweeps random deployments across
+// every layout and a range of densities, comparing the grid and brute
+// constructions exactly.
+func TestGridIncidenceDifferentialDeploy(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	layouts := []Layout{LayoutUniform, LayoutGrid, LayoutClustered}
+	for trial := 0; trial < 40; trial++ {
+		side := []float64{10, 100, 500}[rng.Intn(3)]
+		cfg := DeployConfig{
+			Field:   geometry.NewRect(geometry.Point{}, geometry.Point{X: side, Y: side}),
+			Sensors: 1 + rng.Intn(150),
+			Targets: rng.Intn(80),
+			Range:   side * []float64{0.001, 0.05, 0.2, 1.5}[rng.Intn(4)],
+			Layout:  layouts[rng.Intn(len(layouts))],
+		}
+		net, err := Deploy(cfg, stats.NewRNG(uint64(1000+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sensors, targets := net.Sensors(), net.Targets()
+		gridNet, bruteNet := buildBoth(t, sensors, targets)
+		requireSameIncidence(t, gridNet, bruteNet)
+		// Deploy itself goes through NewNetwork; cross-check it too.
+		requireSameIncidence(t, net, bruteNet)
+	}
+}
+
+// TestGridIncidenceQuick drives the equality through testing/quick:
+// arbitrary sensor/target coordinates (including testing/quick's huge
+// magnitudes) and arbitrary positive ranges.
+func TestGridIncidenceQuick(t *testing.T) {
+	f := func(sx, sy, tx, ty []float64, rangeSeed int64) bool {
+		ns := len(sx)
+		if len(sy) < ns {
+			ns = len(sy)
+		}
+		if ns == 0 {
+			return true
+		}
+		nt := len(tx)
+		if len(ty) < nt {
+			nt = len(ty)
+		}
+		rng := rand.New(rand.NewSource(rangeSeed))
+		sensors := make([]Sensor, ns)
+		for i := range sensors {
+			sensors[i] = Sensor{
+				ID:    i,
+				Pos:   geometry.Point{X: sx[i], Y: sy[i]},
+				Range: rng.Float64()*100 + 1e-9,
+			}
+		}
+		targets := make([]Target, nt)
+		for j := range targets {
+			targets[j] = Target{ID: j, Pos: geometry.Point{X: tx[j], Y: ty[j]}, Weight: 1}
+		}
+		gridNet, err := NewNetwork(sensors, targets)
+		if err != nil {
+			return false
+		}
+		bruteNet, err := NewNetworkBruteForce(sensors, targets)
+		if err != nil {
+			return false
+		}
+		for j := range targets {
+			g, b := gridNet.Coverers(j), bruteNet.Coverers(j)
+			if len(g) != len(b) {
+				return false
+			}
+			for k := range g {
+				if g[k] != b[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridIncidenceDegenerate pins the table of degenerate deployments
+// from the issue: near-zero ranges, coincident sensors and targets,
+// sensors exactly on grid-cell boundaries, targets outside the field's
+// bounding box, mixed footprints (sectors, off-centre disks), and a
+// single huge-range sensor that collapses the grid to one cell.
+func TestGridIncidenceDegenerate(t *testing.T) {
+	pt := func(x, y float64) geometry.Point { return geometry.Point{X: x, Y: y} }
+	cases := []struct {
+		name    string
+		sensors []Sensor
+		targets []Target
+	}{
+		{
+			name: "near-zero-range",
+			sensors: []Sensor{
+				{ID: 0, Pos: pt(5, 5), Range: 1e-300},
+				{ID: 1, Pos: pt(10, 10), Range: 1e-300},
+			},
+			targets: []Target{
+				{ID: 0, Pos: pt(5, 5), Weight: 1}, // exactly on the sensor
+				{ID: 1, Pos: pt(10, 10), Weight: 1},
+				{ID: 2, Pos: pt(7.5, 7.5), Weight: 1}, // between them
+			},
+		},
+		{
+			name: "zero-range-footprint",
+			sensors: []Sensor{
+				// Range 0 is allowed when an explicit footprint is set; a
+				// zero-radius disk covers exactly its own centre.
+				{ID: 0, Pos: pt(3, 3), Footprint: geometry.Disk{Center: pt(3, 3)}},
+				{ID: 1, Pos: pt(4, 4), Range: 2},
+			},
+			targets: []Target{
+				{ID: 0, Pos: pt(3, 3), Weight: 1},
+				{ID: 1, Pos: pt(4, 4), Weight: 1},
+			},
+		},
+		{
+			name: "coincident-everything",
+			sensors: func() []Sensor {
+				s := make([]Sensor, 40)
+				for i := range s {
+					s[i] = Sensor{ID: i, Pos: pt(1, 1), Range: 0.5}
+				}
+				return s
+			}(),
+			targets: []Target{
+				{ID: 0, Pos: pt(1, 1), Weight: 1},
+				{ID: 1, Pos: pt(1.5, 1), Weight: 1}, // exactly on every boundary
+				{ID: 2, Pos: pt(2, 2), Weight: 1},   // outside all
+			},
+		},
+		{
+			name: "cell-boundary-lattice",
+			sensors: func() []Sensor {
+				var s []Sensor
+				for x := 0.0; x <= 100; x += 10 {
+					for y := 0.0; y <= 100; y += 10 {
+						s = append(s, Sensor{ID: len(s), Pos: pt(x, y), Range: 10})
+					}
+				}
+				return s
+			}(),
+			targets: func() []Target {
+				var ts []Target
+				for x := 0.0; x <= 100; x += 10 {
+					ts = append(ts, Target{ID: len(ts), Pos: pt(x, 50), Weight: 1})
+					ts = append(ts, Target{ID: len(ts), Pos: pt(x+5, 45), Weight: 1})
+				}
+				return ts
+			}(),
+		},
+		{
+			name: "targets-outside-bbox",
+			sensors: []Sensor{
+				{ID: 0, Pos: pt(0, 0), Range: 8},
+				{ID: 1, Pos: pt(50, 50), Range: 8},
+			},
+			targets: []Target{
+				{ID: 0, Pos: pt(-5, -5), Weight: 1},    // outside box, inside range
+				{ID: 1, Pos: pt(55, 55), Weight: 1},    // outside box, inside range
+				{ID: 2, Pos: pt(-300, 7), Weight: 1},   // far outside
+				{ID: 3, Pos: pt(1e9, -1e9), Weight: 1}, // absurdly far
+				{ID: 4, Pos: pt(25, 25), Weight: 1},    // in the box, uncovered
+			},
+		},
+		{
+			name: "mixed-footprints",
+			sensors: []Sensor{
+				{ID: 0, Pos: pt(10, 10), Range: 5},
+				{ID: 1, Pos: pt(20, 10), Footprint: geometry.Sector{
+					Center: pt(20, 10), Radius: 8, Heading: math.Pi / 2, HalfAngle: math.Pi / 4,
+				}},
+				// Footprint not centred on the node position.
+				{ID: 2, Pos: pt(30, 10), Footprint: geometry.Disk{Center: pt(34, 10), Radius: 3}},
+			},
+			targets: []Target{
+				{ID: 0, Pos: pt(10, 14), Weight: 1},
+				{ID: 1, Pos: pt(20, 16), Weight: 1}, // inside the sector
+				{ID: 2, Pos: pt(24, 10), Weight: 1}, // beside the sector
+				{ID: 3, Pos: pt(36, 10), Weight: 1}, // in the offset disk
+				{ID: 4, Pos: pt(30, 10), Weight: 1}, // at the node, outside its disk
+			},
+		},
+		{
+			name: "huge-range-collapses-grid",
+			sensors: func() []Sensor {
+				s := []Sensor{{ID: 0, Pos: pt(50, 50), Range: 1e6}}
+				for i := 1; i < 30; i++ {
+					s = append(s, Sensor{ID: i, Pos: pt(float64(i*3), float64(90-i*2)), Range: 2})
+				}
+				return s
+			}(),
+			targets: func() []Target {
+				var ts []Target
+				for j := 0; j < 25; j++ {
+					ts = append(ts, Target{ID: j, Pos: pt(float64(j*4), float64(j*3)), Weight: 1})
+				}
+				return ts
+			}(),
+		},
+		{
+			name:    "no-targets",
+			sensors: []Sensor{{ID: 0, Pos: pt(1, 2), Range: 3}},
+			targets: nil,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			gridNet, bruteNet := buildBoth(t, tc.sensors, tc.targets)
+			requireSameIncidence(t, gridNet, bruteNet)
+		})
+	}
+}
+
+// TestGridIncidenceAllCover cross-checks the Figure-8 identical
+// coverage generator, whose single shared footprint collapses the grid
+// to one cell.
+func TestGridIncidenceAllCover(t *testing.T) {
+	net, err := AllCoverNetwork(37, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := NewNetworkBruteForce(net.Sensors(), net.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameIncidence(t, net, brute)
+	for j := 0; j < net.NumTargets(); j++ {
+		if len(net.Coverers(j)) != net.NumSensors() {
+			t.Fatalf("target %d covered by %d of %d sensors", j, len(net.Coverers(j)), net.NumSensors())
+		}
+	}
+}
+
+// TestDetectionUtilityGridVsBrute asserts the utilities assembled from
+// the two constructions agree bit for bit: identical incidence plus
+// identical per-edge probabilities means Eval must return the exact
+// same float on the exact same inputs.
+func TestDetectionUtilityGridVsBrute(t *testing.T) {
+	net, err := Deploy(DeployConfig{
+		Field:   geometry.NewRect(geometry.Point{}, geometry.Point{X: 200, Y: 200}),
+		Sensors: 120,
+		Targets: 40,
+		Range:   35,
+	}, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := NewNetworkBruteForce(net.Sensors(), net.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []DetectionModel{FixedProb(0.4), DistanceDecay{PMax: 0.9, Gamma: 2}} {
+		ug, err := BuildDetectionUtility(net, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := BuildDetectionUtility(brute, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := make([]int, 0, net.NumSensors())
+		rng := rand.New(rand.NewSource(4))
+		for v := 0; v < net.NumSensors(); v++ {
+			if rng.Intn(3) != 0 {
+				set = append(set, v)
+			}
+			if g, b := ug.Eval(set), ub.Eval(set); g != b {
+				t.Fatalf("model %T |S|=%d: grid Eval %v != brute Eval %v", model, len(set), g, b)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"cool/internal/geometry"
+	"cool/internal/geometry/grid"
 )
 
 // Sensor is one node v_i of the network. Its sensing footprint R(v_i)
@@ -65,8 +66,67 @@ type Network struct {
 var ErrNoSensors = errors.New("wsn: network needs at least one sensor")
 
 // NewNetwork validates the deployment and precomputes the coverage
-// relation a_ij (1 iff sensor v_i covers target O_j).
+// relation a_ij (1 iff sensor v_i covers target O_j) using a uniform
+// spatial-hash index over the sensor footprints: construction is
+// O(n + m + edges) instead of the brute-force O(n·m) pairwise scan,
+// which is what unlocks deployments with n ≥ 10⁵ sensors. The
+// resulting incidence is *exactly* the brute-force incidence — every
+// grid candidate is re-checked with the sensor's own Covers predicate,
+// and candidates arrive in ascending sensor ID — so everything built
+// on Coverers/CoveredTargets (CSR utilities, schedules, float
+// accumulation order) is bit-identical to NewNetworkBruteForce's
+// output. The differential tests in griddiff_test.go enforce that
+// equality on random and degenerate deployments.
 func NewNetwork(sensors []Sensor, targets []Target) (*Network, error) {
+	n, err := newNetworkShell(sensors, targets)
+	if err != nil {
+		return nil, err
+	}
+	regions := n.Regions()
+	items := make([]grid.Item, len(sensors))
+	for i, s := range sensors {
+		items[i] = grid.Item{Pos: grid.Point(s.Pos), Reach: sensorReach(s, regions[i])}
+	}
+	ix := grid.Build(items)
+	buf := make([]int32, 0, 64)
+	for j, t := range targets {
+		buf = ix.CandidatesInto(buf, grid.Point(t.Pos))
+		for _, ci := range buf {
+			i := int(ci)
+			if regions[i].Contains(t.Pos) {
+				n.coverers[j] = append(n.coverers[j], i)
+				n.covered[i] = append(n.covered[i], j)
+			}
+		}
+	}
+	return n, nil
+}
+
+// NewNetworkBruteForce builds the identical Network via the original
+// O(n·m) pairwise scan. It is retained as the reference construction
+// for the grid index's differential test harness and the
+// `coolbench -fig grid` benchmark; library code should use NewNetwork.
+func NewNetworkBruteForce(sensors []Sensor, targets []Target) (*Network, error) {
+	n, err := newNetworkShell(sensors, targets)
+	if err != nil {
+		return nil, err
+	}
+	regions := n.Regions()
+	for j, t := range targets {
+		for i := range sensors {
+			if regions[i].Contains(t.Pos) {
+				n.coverers[j] = append(n.coverers[j], i)
+				n.covered[i] = append(n.covered[i], j)
+			}
+		}
+	}
+	return n, nil
+}
+
+// newNetworkShell validates the deployment and allocates the Network
+// with empty incidence lists; NewNetwork and NewNetworkBruteForce fill
+// them through their respective candidate enumerations.
+func newNetworkShell(sensors []Sensor, targets []Target) (*Network, error) {
 	if len(sensors) == 0 {
 		return nil, ErrNoSensors
 	}
@@ -86,21 +146,36 @@ func NewNetwork(sensors []Sensor, targets []Target) (*Network, error) {
 			return nil, fmt.Errorf("wsn: target %d has invalid weight %v", j, t.Weight)
 		}
 	}
-	n := &Network{
+	return &Network{
 		sensors:  append([]Sensor(nil), sensors...),
 		targets:  append([]Target(nil), targets...),
 		coverers: make([][]int, len(targets)),
 		covered:  make([][]int, len(sensors)),
+	}, nil
+}
+
+// sensorReach returns the Chebyshev reach of the sensor's footprint
+// from its anchor position: the smallest r such that the footprint's
+// bounding box fits in [Pos.X±r] × [Pos.Y±r] (the grid.Item contract).
+// For the default disk footprint this is exactly the sensing radius;
+// for an arbitrary Footprint it is derived from the region's Bounds,
+// handling footprints not centred on the node. Non-finite bounds
+// (exotic custom regions) yield a non-finite reach, which grid.Build
+// routes to its always-candidate overflow bucket — conservative, never
+// wrong.
+func sensorReach(s Sensor, reg geometry.Region) float64 {
+	if s.Footprint == nil {
+		return s.Range
 	}
-	for j, t := range targets {
-		for i, s := range sensors {
-			if s.Covers(t.Pos) {
-				n.coverers[j] = append(n.coverers[j], i)
-				n.covered[i] = append(n.covered[i], j)
-			}
-		}
+	b := reg.Bounds()
+	r := math.Max(
+		math.Max(s.Pos.X-b.Min.X, b.Max.X-s.Pos.X),
+		math.Max(s.Pos.Y-b.Min.Y, b.Max.Y-s.Pos.Y),
+	)
+	if r < 0 {
+		return 0
 	}
-	return n, nil
+	return r
 }
 
 // NumSensors returns n.
