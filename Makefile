@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim figures examples fuzz clean
 
 all: build vet test
 
@@ -48,6 +48,15 @@ bench-grid:
 	$(GO) test -run xxx -bench 'Grid' -benchmem -benchtime 100x ./internal/geometry/grid/
 	$(GO) run ./cmd/coolbench -fig grid -quick
 
+# Radio-core smoke pass: vet, then the flat netsim broadcast/bulk
+# benchmarks with allocation reporting (the Batch/ReceiveInto round must
+# report 0 allocs/op after warmup), then the quick flat-vs-reference
+# comparison that re-audits trace identity and writes BENCH_netsim.json.
+bench-netsim:
+	$(GO) vet ./...
+	$(GO) test -run xxx -bench 'Netsim' -benchmem -benchtime 10x ./internal/netsim/
+	$(GO) run ./cmd/coolbench -fig netsim -quick
+
 # Regenerate every paper figure and ablation into results/.
 figures:
 	$(GO) run ./cmd/coolbench -fig all -out results/
@@ -63,6 +72,7 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzScheduleJSON -fuzztime 30s
 	$(GO) test ./internal/lp/ -fuzz FuzzSolveRobustness -fuzztime 30s
 	$(GO) test ./internal/geometry/grid/ -fuzz FuzzGridCandidates -fuzztime 30s
+	$(GO) test ./internal/netsim/ -fuzz FuzzNetsimDiff -fuzztime 30s
 
 clean:
 	rm -rf results/ testdata/fuzz

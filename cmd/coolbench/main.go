@@ -31,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("coolbench", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|all")
+		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|all")
 		outDir  = fs.String("out", "", "directory for CSV output (omit to skip CSV)")
 		quick   = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		chart   = fs.Bool("chart", false, "also render ASCII charts")
@@ -228,8 +228,22 @@ func collect(which string, quick bool, seed uint64, workers int) ([]*experiments
 		out = append(out, f)
 		benches = append(benches, benchOutput{name: "grid", data: res})
 	}
+	if want("netsim") {
+		cfg := experiments.NetsimConfig{Seed: seed}
+		if quick {
+			cfg.Sizes = []int{100, 1000}
+			cfg.Iters = 1
+			cfg.Ticks = 2
+		}
+		f, res, err := experiments.NetsimBench(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, f)
+		benches = append(benches, benchOutput{name: "netsim", data: res})
+	}
 	if len(out) == 0 {
-		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|all)", which)
+		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|all)", which)
 	}
 	return out, benches, nil
 }

@@ -17,6 +17,8 @@ import (
 	"os"
 
 	"cool"
+	"cool/internal/netsim"
+	"cool/internal/protocol"
 )
 
 func main() {
@@ -45,6 +47,9 @@ func run(args []string, out io.Writer) error {
 		loop      = fs.Bool("loop", false, "closed-loop mode: Markov weather, per-day pattern estimation and re-planning")
 		reps      = fs.Int("reps", 1, "Monte-Carlo replications (>1 reports a mean with a 95% CI)")
 		workers   = fs.Int("workers", 0, "worker goroutines for planning and Monte-Carlo runs (<=0 selects NumCPU)")
+		radio     = fs.Bool("radio", false, "disseminate the schedule over the simulated lossy radio network before running")
+		radioLoss = fs.Float64("radio-loss", 0.1, "radio mode: per-link drop probability in [0,1)")
+		radioRng  = fs.Float64("radio-range", 0, "radio mode: transmission range (0 selects 35% of the field side)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +131,20 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *radio {
+		sp, ok := pol.(cool.SchedulePolicy)
+		if !ok {
+			return fmt.Errorf("-radio requires a schedule-based policy, not %q", *policy)
+		}
+		rng := *radioRng
+		if rng <= 0 {
+			rng = 0.35 * *field
+		}
+		if err := disseminate(out, net, sp.Schedule, *radioLoss, rng, *seed); err != nil {
+			return err
+		}
+	}
+
 	slotsPerDay := 48 // 12-hour working day of 15-minute slots
 	cfg := cool.SimConfig{
 		NumSensors: *n,
@@ -183,6 +202,62 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "mean active sensors per slot: %.2f (max %d)\n",
 		float64(active)/float64(len(res.PerSlot)), maxActive)
+	return nil
+}
+
+// disseminate floods the planned schedule from a base station at the
+// field origin over the flat-core radio network built from the sensor
+// deployment, waiting for every node's acknowledgement — the paper's
+// control-plane step between planning and execution (Section VI).
+func disseminate(out io.Writer, net *cool.Network, sched *cool.Schedule, loss, radioRange float64, seed uint64) error {
+	sensors := net.Sensors()
+	specs := make([]netsim.NodeSpec, 0, len(sensors)+1)
+	specs = append(specs, netsim.NodeSpec{ID: protocol.BaseID, Radio: radioRange})
+	for _, s := range sensors {
+		specs = append(specs, netsim.NodeSpec{
+			ID:    netsim.NodeID(s.ID + 1),
+			Pos:   s.Pos,
+			Radio: radioRange,
+		})
+	}
+	medium, err := netsim.NewNetwork(netsim.WithLoss(loss), netsim.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	if err := medium.AddNodes(specs); err != nil {
+		return err
+	}
+	if !medium.Connected() {
+		return fmt.Errorf("radio network disconnected at range %.1f; raise -radio-range", radioRange)
+	}
+	engine, err := protocol.NewEngine(protocol.Config{}, medium)
+	if err != nil {
+		return err
+	}
+	for _, s := range specs {
+		if err := engine.Register(s.ID); err != nil {
+			return err
+		}
+	}
+	if err := engine.Distribute(protocol.ScheduleMsg{
+		Version: 1,
+		Assign:  sched.Assignment(),
+		Period:  sched.Period(),
+		Removal: sched.Mode() == cool.ModeRemoval,
+	}); err != nil {
+		return err
+	}
+	ticks, ok, err := engine.RunUntil(engine.AllAcked, 20000)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("dissemination incomplete after %d ticks: %d/%d acks",
+			ticks, engine.AckedCount(), len(specs))
+	}
+	sent, delivered, dropped := medium.Stats()
+	fmt.Fprintf(out, "schedule disseminated to %d nodes in %d ticks (loss %.0f%%): %d sent, %d delivered, %d dropped\n",
+		len(sensors), ticks, loss*100, sent, delivered, dropped)
 	return nil
 }
 

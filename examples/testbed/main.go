@@ -82,19 +82,20 @@ func run() error {
 		planner.AverageUtility(schedule, targets))
 
 	// --- 3. Disseminate over the lossy radio network --------------------
-	radio, err := netsim.New(netsim.Config{Loss: 0.2, Seed: 13})
+	radio, err := netsim.NewNetwork(netsim.WithLoss(0.2), netsim.WithSeed(13))
 	if err != nil {
 		return err
 	}
-	// Base station at the field corner, then the sensor fleet. Radio
-	// range 45 keeps the grid multihop but connected.
-	if err := radio.AddNode(protocol.BaseID, cool.Point{X: 0, Y: 0}, 45); err != nil {
-		return err
-	}
+	// Base station at the field corner, then the sensor fleet, all
+	// registered in one bulk call. Radio range 45 keeps the grid
+	// multihop but connected.
+	specs := make([]netsim.NodeSpec, 0, sensors+1)
+	specs = append(specs, netsim.NodeSpec{ID: protocol.BaseID, Pos: cool.Point{X: 0, Y: 0}, Radio: 45})
 	for _, s := range network.Sensors() {
-		if err := radio.AddNode(netsim.NodeID(s.ID+1), s.Pos, 45); err != nil {
-			return err
-		}
+		specs = append(specs, netsim.NodeSpec{ID: netsim.NodeID(s.ID + 1), Pos: s.Pos, Radio: 45})
+	}
+	if err := radio.AddNodes(specs); err != nil {
+		return err
 	}
 	if !radio.Connected() {
 		return fmt.Errorf("radio network is not connected")

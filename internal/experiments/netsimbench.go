@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cool/internal/geometry"
+	"cool/internal/netsim"
+	"cool/internal/stats"
+)
+
+// This file is the packet-simulation benchmark behind `coolbench -fig
+// netsim`: the flat batched radio core (dense node slices, grid
+// neighbor index, ring-bucket delivery, Batch/ReceiveInto zero-copy
+// packet API) against the retained map-based ReferenceNetwork on
+// identical fleets. The two cores are proven byte-identical by the
+// differential harness in internal/netsim; the benchmark re-audits
+// that contract at fleet sizes the unit tests never reach and records
+// the verdict in BENCH_netsim.json as trace_identical, which CI
+// asserts.
+
+// NetsimConfig parameterizes the radio-core benchmark.
+type NetsimConfig struct {
+	// Sizes lists the fleet sizes to benchmark (default 100, 1000,
+	// 10000).
+	Sizes []int
+	// FieldSide is the square deployment field's side (default 1000).
+	FieldSide float64
+	// Degree is the target mean neighborhood size; the radio range at
+	// each size is solved from Degree = π·r²·n/|Ω| so traffic density
+	// stays constant as the fleet grows (default 10).
+	Degree float64
+	// Loss is the per-link drop probability (default 0.1).
+	Loss float64
+	// Ticks is the number of whole-fleet broadcast rounds per timed
+	// operation: every node Batch-broadcasts, one Step, every inbox is
+	// drained through ReceiveInto (default 4).
+	Ticks int
+	// Iters is the timing repetitions at each size; the minimum is
+	// reported. Sizes above 5000 always use a single iteration
+	// (default 3).
+	Iters int
+	// Seed drives deployment randomness and the radio RNG.
+	Seed uint64
+}
+
+func (c *NetsimConfig) defaults() error {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{100, 1000, 10000}
+	}
+	if c.FieldSide == 0 {
+		c.FieldSide = 1000
+	}
+	if c.Degree == 0 {
+		c.Degree = 10
+	}
+	if c.Loss == 0 {
+		c.Loss = 0.1
+	}
+	if c.Ticks == 0 {
+		c.Ticks = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 3
+	}
+	for _, n := range c.Sizes {
+		if n < 10 {
+			return fmt.Errorf("experiments: netsim bench size %d too small", n)
+		}
+	}
+	if c.Iters < 1 || c.Ticks < 1 || c.FieldSide < 0 || c.Degree <= 0 ||
+		c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("experiments: invalid netsim bench config %+v", *c)
+	}
+	return nil
+}
+
+// NetsimCase is the flat-vs-reference measurement at one fleet size.
+type NetsimCase struct {
+	Nodes int     `json:"nodes"`
+	Range float64 `json:"range"`
+	// MeanDegree is the mean neighborhood size actually realized.
+	MeanDegree float64 `json:"mean_degree"`
+	// PacketsPerRound is the number of unicast packets one whole-fleet
+	// broadcast round enqueues.
+	PacketsPerRound int `json:"packets_per_round"`
+	// FlatNsOp / RefNsOp time Ticks broadcast rounds (best of Iters) on
+	// the flat core and the map-based reference.
+	FlatNsOp int64 `json:"flat_ns_op"`
+	RefNsOp  int64 `json:"ref_ns_op"`
+	// Speedup is RefNsOp / FlatNsOp.
+	Speedup float64 `json:"speedup"`
+	// FlatPacketsPerSec / RefPacketsPerSec are enqueued packets divided
+	// by wall time for the best iteration.
+	FlatPacketsPerSec float64 `json:"flat_packets_per_sec"`
+	RefPacketsPerSec  float64 `json:"ref_packets_per_sec"`
+	// Alloc metering for one timed operation (runtime.MemStats deltas);
+	// the flat core's steady state is zero.
+	FlatAllocsPerOp uint64 `json:"flat_allocs_per_op"`
+	RefAllocsPerOp  uint64 `json:"ref_allocs_per_op"`
+	FlatBytesPerOp  uint64 `json:"flat_bytes_per_op"`
+	RefBytesPerOp   uint64 `json:"ref_bytes_per_op"`
+	// TraceIdentical records that a fresh lockstep run of both cores
+	// from the same seed delivered exactly the same messages in the
+	// same order with the same packet counters and neighborhoods.
+	TraceIdentical bool `json:"trace_identical"`
+}
+
+// NetsimResult is the machine-readable summary coolbench writes to
+// BENCH_netsim.json.
+type NetsimResult struct {
+	FieldSide float64      `json:"field_side"`
+	Degree    float64      `json:"degree"`
+	Loss      float64      `json:"loss"`
+	Ticks     int          `json:"ticks"`
+	Cases     []NetsimCase `json:"cases"`
+}
+
+// netsimCore is the method set the benchmark needs from either radio
+// implementation.
+type netsimCore interface {
+	AddNodes(specs []netsim.NodeSpec) error
+	Batch(from netsim.NodeID, payload any) (int, error)
+	Step()
+	ReceiveInto(id netsim.NodeID, buf []netsim.Message) ([]netsim.Message, error)
+	Neighbors(id netsim.NodeID) ([]netsim.NodeID, error)
+	Stats() (sent, delivered, dropped int)
+	Connected() bool
+}
+
+// netsimSpecs deploys n nodes uniformly at random with a shared radio
+// range solved from the target mean degree.
+func netsimSpecs(n int, fieldSide, degree float64, seed uint64) ([]netsim.NodeSpec, float64) {
+	r := math.Sqrt(degree * fieldSide * fieldSide / (math.Pi * float64(n)))
+	rng := stats.NewRNG(seed)
+	specs := make([]netsim.NodeSpec, n)
+	for i := range specs {
+		specs[i] = netsim.NodeSpec{
+			ID: netsim.NodeID(i),
+			Pos: geometry.Point{
+				X: rng.Float64() * fieldSide,
+				Y: rng.Float64() * fieldSide,
+			},
+			Radio: r,
+		}
+	}
+	return specs, r
+}
+
+// broadcastRounds runs ticks whole-fleet broadcast rounds and returns
+// the reusable drain buffer (so repeated calls stay allocation-free on
+// the flat core).
+func broadcastRounds(core netsimCore, n, ticks int, payload any, buf []netsim.Message) ([]netsim.Message, error) {
+	for t := 0; t < ticks; t++ {
+		for id := 0; id < n; id++ {
+			if _, err := core.Batch(netsim.NodeID(id), payload); err != nil {
+				return buf, err
+			}
+		}
+		core.Step()
+		for id := 0; id < n; id++ {
+			var err error
+			buf, err = core.ReceiveInto(netsim.NodeID(id), buf)
+			if err != nil {
+				return buf, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// netsimTraceIdentical runs both cores in lockstep from identical
+// fresh state and reports whether every delivered message, every
+// neighborhood, and the packet counters agree exactly.
+func netsimTraceIdentical(specs []netsim.NodeSpec, loss float64, seed uint64, ticks int, payload any) (bool, error) {
+	flat, err := netsim.NewNetwork(netsim.WithLoss(loss), netsim.WithSeed(seed))
+	if err != nil {
+		return false, err
+	}
+	ref, err := netsim.NewReference(netsim.Config{Loss: loss, Seed: seed})
+	if err != nil {
+		return false, err
+	}
+	if err := flat.AddNodes(specs); err != nil {
+		return false, err
+	}
+	if err := ref.AddNodes(specs); err != nil {
+		return false, err
+	}
+	var fbuf, rbuf []netsim.Message
+	for t := 0; t < ticks; t++ {
+		for _, s := range specs {
+			fn, err := flat.Batch(s.ID, payload)
+			if err != nil {
+				return false, err
+			}
+			rn, err := ref.Batch(s.ID, payload)
+			if err != nil {
+				return false, err
+			}
+			if fn != rn {
+				return false, nil
+			}
+		}
+		flat.Step()
+		ref.Step()
+		for _, s := range specs {
+			if fbuf, err = flat.ReceiveInto(s.ID, fbuf[:0]); err != nil {
+				return false, err
+			}
+			if rbuf, err = ref.ReceiveInto(s.ID, rbuf[:0]); err != nil {
+				return false, err
+			}
+			if len(fbuf) != len(rbuf) {
+				return false, nil
+			}
+			for k := range fbuf {
+				if fbuf[k] != rbuf[k] {
+					return false, nil
+				}
+			}
+		}
+	}
+	fs, fd, fx := flat.Stats()
+	rs, rd, rx := ref.Stats()
+	if fs != rs || fd != rd || fx != rx {
+		return false, nil
+	}
+	if flat.Connected() != ref.Connected() {
+		return false, nil
+	}
+	// Neighborhoods agree node for node, element for element.
+	for _, s := range specs {
+		fn, err := flat.Neighbors(s.ID)
+		if err != nil {
+			return false, err
+		}
+		rn, err := ref.Neighbors(s.ID)
+		if err != nil {
+			return false, err
+		}
+		if len(fn) != len(rn) {
+			return false, nil
+		}
+		for k := range fn {
+			if fn[k] != rn[k] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// NetsimBench runs the flat-vs-reference radio core comparison across
+// the configured fleet sizes and returns both a renderable Figure and
+// the raw machine-readable result.
+func NetsimBench(cfg NetsimConfig) (*Figure, *NetsimResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	res := &NetsimResult{
+		FieldSide: cfg.FieldSide,
+		Degree:    cfg.Degree,
+		Loss:      cfg.Loss,
+		Ticks:     cfg.Ticks,
+	}
+	fig := &Figure{
+		ID: "netsim-bench",
+		Title: fmt.Sprintf("Radio core: flat batched vs map-based reference, degree≈%.0f loss=%.0f%%",
+			cfg.Degree, cfg.Loss*100),
+		XLabel: "nodes",
+		YLabel: fmt.Sprintf("milliseconds per %d broadcast rounds", cfg.Ticks),
+	}
+	refSeries := Series{Label: "reference"}
+	flatSeries := Series{Label: "flat-batched"}
+	payload := any("beacon")
+
+	for _, n := range cfg.Sizes {
+		specs, r := netsimSpecs(n, cfg.FieldSide, cfg.Degree, cfg.Seed+uint64(n))
+
+		flat, err := netsim.NewNetwork(netsim.WithLoss(cfg.Loss), netsim.WithSeed(cfg.Seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		ref, err := netsim.NewReference(netsim.Config{Loss: cfg.Loss, Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := flat.AddNodes(specs); err != nil {
+			return nil, nil, err
+		}
+		if err := ref.AddNodes(specs); err != nil {
+			return nil, nil, err
+		}
+
+		// Realized mean degree and packets per round, from the flat core.
+		edges := 0
+		for _, s := range specs {
+			nb, err := flat.Neighbors(s.ID)
+			if err != nil {
+				return nil, nil, err
+			}
+			edges += len(nb)
+		}
+
+		iters := cfg.Iters
+		if n > 5000 {
+			iters = 1
+		}
+		fbuf := make([]netsim.Message, 0, 4*edges/n+16)
+		rbuf := make([]netsim.Message, 0, cap(fbuf))
+		// One untimed warmup round so every ring bucket, inbox, and the
+		// drain buffers reach steady-state capacity before timing.
+		if fbuf, err = broadcastRounds(flat, n, 1, payload, fbuf); err != nil {
+			return nil, nil, err
+		}
+		if rbuf, err = broadcastRounds(ref, n, 1, payload, rbuf); err != nil {
+			return nil, nil, err
+		}
+
+		var flatNs, refNs int64 = -1, -1
+		var flatAllocs, refAllocs, flatBytes, refBytes uint64
+		for i := 0; i < iters; i++ {
+			ns, allocs, bytes, err := measureRun(func() error {
+				var err error
+				fbuf, err = broadcastRounds(flat, n, cfg.Ticks, payload, fbuf)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if flatNs < 0 || ns < flatNs {
+				flatNs, flatAllocs, flatBytes = ns, allocs, bytes
+			}
+			ns, allocs, bytes, err = measureRun(func() error {
+				var err error
+				rbuf, err = broadcastRounds(ref, n, cfg.Ticks, payload, rbuf)
+				return err
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if refNs < 0 || ns < refNs {
+				refNs, refAllocs, refBytes = ns, allocs, bytes
+			}
+		}
+
+		// Lockstep trace-identity audit on a fresh pair; keep the
+		// reference's O(n²) rounds affordable at the largest size.
+		vTicks := cfg.Ticks
+		if n > 5000 && vTicks > 2 {
+			vTicks = 2
+		}
+		identical, err := netsimTraceIdentical(specs, cfg.Loss, cfg.Seed+7, vTicks, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		packets := edges // one whole-fleet broadcast round enqueues one packet per directed edge
+		c := NetsimCase{
+			Nodes:             n,
+			Range:             r,
+			MeanDegree:        float64(edges) / float64(n),
+			PacketsPerRound:   packets,
+			FlatNsOp:          flatNs,
+			RefNsOp:           refNs,
+			Speedup:           float64(refNs) / float64(flatNs),
+			FlatPacketsPerSec: float64(packets*cfg.Ticks) / (float64(flatNs) / 1e9),
+			RefPacketsPerSec:  float64(packets*cfg.Ticks) / (float64(refNs) / 1e9),
+			FlatAllocsPerOp:   flatAllocs,
+			RefAllocsPerOp:    refAllocs,
+			FlatBytesPerOp:    flatBytes,
+			RefBytesPerOp:     refBytes,
+			TraceIdentical:    identical,
+		}
+		res.Cases = append(res.Cases, c)
+		refSeries.X = append(refSeries.X, float64(n))
+		refSeries.Y = append(refSeries.Y, float64(refNs)/1e6)
+		flatSeries.X = append(flatSeries.X, float64(n))
+		flatSeries.Y = append(flatSeries.Y, float64(flatNs)/1e6)
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"n=%d r=%.1f deg=%.1f: %.2fx speedup (%.2fms → %.2fms), %.2gM pkts/s vs %.2gM, flat allocs %d, identical=%v",
+			n, r, c.MeanDegree, c.Speedup, float64(refNs)/1e6, float64(flatNs)/1e6,
+			c.FlatPacketsPerSec/1e6, c.RefPacketsPerSec/1e6, flatAllocs, identical))
+	}
+	fig.Series = []Series{refSeries, flatSeries}
+	return fig, res, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNetsimBenchQuick runs the radio-core benchmark on reduced fleet
+// sizes and asserts the invariants coolbench publishes: both cores run
+// to completion, the lockstep trace audit passes, and the JSON-facing
+// fields are populated sensibly.
+func TestNetsimBenchQuick(t *testing.T) {
+	cfg := NetsimConfig{Sizes: []int{60, 200}, Iters: 1, Ticks: 2, Seed: 5}
+	fig, res, err := NetsimBench(cfg)
+	if err != nil {
+		t.Fatalf("NetsimBench: %v", err)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if !c.TraceIdentical {
+			t.Errorf("n=%d: flat and reference cores diverged in the lockstep audit", c.Nodes)
+		}
+		if c.PacketsPerRound <= 0 {
+			t.Errorf("n=%d: no packets; range %v too small for the field", c.Nodes, c.Range)
+		}
+		if c.FlatNsOp <= 0 || c.RefNsOp <= 0 {
+			t.Errorf("n=%d: non-positive timings %d/%d", c.Nodes, c.FlatNsOp, c.RefNsOp)
+		}
+		if math.IsNaN(c.Speedup) || c.Speedup <= 0 {
+			t.Errorf("n=%d: bad speedup %v", c.Nodes, c.Speedup)
+		}
+		if c.MeanDegree <= 0 {
+			t.Errorf("n=%d: bad mean degree %v", c.Nodes, c.MeanDegree)
+		}
+		if c.FlatPacketsPerSec <= 0 || c.RefPacketsPerSec <= 0 {
+			t.Errorf("n=%d: bad throughput %v/%v", c.Nodes, c.FlatPacketsPerSec, c.RefPacketsPerSec)
+		}
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != len(res.Cases) || len(s.Y) != len(res.Cases) {
+			t.Errorf("series %q has %d/%d points, want %d", s.Label, len(s.X), len(s.Y), len(res.Cases))
+		}
+	}
+}
+
+// TestNetsimBenchRejectsBadConfig exercises the config validation.
+func TestNetsimBenchRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]NetsimConfig{
+		"tiny-size":  {Sizes: []int{4}},
+		"bad-loss":   {Loss: 1.5},
+		"zero-iters": {Iters: -2},
+		"bad-degree": {Degree: -3},
+	} {
+		if _, _, err := NetsimBench(cfg); err == nil {
+			t.Errorf("%s: config %+v accepted, want error", name, cfg)
+		}
+	}
+}

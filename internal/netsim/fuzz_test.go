@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"testing"
+
+	"cool/internal/geometry"
+)
+
+// FuzzNetsimDiff interprets the fuzz input as an operation script and
+// replays it against both the flat core and the reference network,
+// requiring identical delivery traces, counters, neighborhoods, and RNG
+// consumption. The first bytes pick the medium (loss, jitter, seed) and
+// the fleet; the rest drive broadcasts, unicasts, failures, recoveries,
+// late registrations, and ticks.
+func FuzzNetsimDiff(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{5, 0, 0, 1, 0x10, 0x21, 0x32, 0x43, 0x54, 0x65})
+	f.Add([]byte{20, 40, 3, 9, 0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88})
+	f.Add([]byte{3, 89, 5, 77, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+
+		nodes := 2 + int(next())%24
+		cfg := Config{
+			Loss:     float64(next()%90) / 100,
+			MinDelay: 1,
+			MaxDelay: 1 + int(next())%5,
+			Seed:     uint64(next()),
+		}
+		d := newDiffPair(t, cfg)
+		// Fleet on a jittered grid: positions derive from the node index
+		// so scripts stay short; a few radios are large enough to span
+		// the field, a few barely reach a neighbor.
+		specs := make([]NodeSpec, nodes)
+		for i := range specs {
+			radio := 12.0
+			if i%5 == 0 {
+				radio = 200
+			} else if i%7 == 0 {
+				radio = 10.01
+			}
+			specs[i] = NodeSpec{
+				ID:    NodeID(i),
+				Pos:   geometry.Point{X: float64(i%6) * 10, Y: float64(i/6) * 10},
+				Radio: radio,
+			}
+		}
+		d.addNodes(t, specs)
+
+		steps := 0
+		for len(data) > 0 && steps < 64 {
+			op := next()
+			switch op % 8 {
+			case 0, 1:
+				d.batch(t, NodeID(int(next())%nodes), int(op))
+			case 2, 3:
+				d.send(t, NodeID(int(next())%nodes), NodeID(int(next())%nodes), int(op))
+			case 4:
+				id := NodeID(int(next()) % nodes)
+				d.setDown(t, id, !d.flat.IsDown(id))
+			case 5:
+				// Late registration (possibly duplicate: parity either way).
+				id := NodeID(int(next()) % (nodes + 8))
+				d.addNode(t, id, geometry.Point{X: float64(next()), Y: float64(next())}, 15)
+				if int(id) >= nodes {
+					// keep the modulus in range for later ops
+					nodes = int(id) + 1
+				}
+			case 6, 7:
+				d.step(t)
+				steps++
+			}
+		}
+		// Flush the in-flight tail, then the full audit.
+		for i := 0; i <= cfg.MaxDelay; i++ {
+			d.step(t)
+		}
+		d.audit(t)
+		d.auditRNG(t)
+	})
+}

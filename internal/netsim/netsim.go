@@ -4,6 +4,29 @@
 // latency, and tick-driven delivery. It is the substrate on which the
 // testbed's control-plane protocols (time sync, schedule dissemination,
 // data collection) are reproduced.
+//
+// # Layout
+//
+// Network is the flat batched core: nodes live in dense parallel slices
+// indexed through a NodeID→index table, neighborhoods are served by the
+// internal/geometry/grid spatial hash (a query inspects only the 3×3
+// cell neighbourhood instead of scanning every node), and the pending
+// store is a ring of per-tick flat message buckets bounded by MaxDelay,
+// so Step is a single bucket drain with no map traffic and, in steady
+// state, no per-message allocation. ReferenceNetwork retains the
+// original map-based implementation; the differential harness holds the
+// flat core to tick-for-tick identical delivery traces, counters, and
+// RNG draws against it.
+//
+// # API
+//
+// New networks are built with NewNetwork and functional options
+// (WithLoss, WithDelay, WithSeed); bulk fleets register through
+// AddNodes. The hot delivery paths are Batch (one neighbor resolution
+// and one RNG/loss sweep for a whole broadcast, zero allocations in
+// steady state) and ReceiveInto (drain into a caller-owned buffer,
+// zero allocations when capacity suffices). New/AddNode/Receive remain
+// as thin compatibility wrappers.
 package netsim
 
 import (
@@ -12,6 +35,7 @@ import (
 	"sort"
 
 	"cool/internal/geometry"
+	"cool/internal/geometry/grid"
 	"cool/internal/stats"
 )
 
@@ -31,7 +55,18 @@ type Message struct {
 	SentAt, DeliveredAt int
 }
 
-// Config tunes the radio medium.
+// NodeSpec describes one node for bulk registration via AddNodes.
+type NodeSpec struct {
+	// ID identifies the node; IDs must be unique.
+	ID NodeID
+	// Pos is the node's position.
+	Pos geometry.Point
+	// Radio is the node's transmission range (> 0).
+	Radio float64
+}
+
+// Config tunes the radio medium. Prefer the functional options of
+// NewNetwork; Config remains for the deprecated New constructor.
 type Config struct {
 	// Loss is the independent per-link drop probability in [0, 1).
 	Loss float64
@@ -58,81 +93,235 @@ func (c *Config) defaults() error {
 	return nil
 }
 
-type node struct {
-	id    NodeID
-	pos   geometry.Point
-	radio float64
-	inbox []Message
-	down  bool
+// Option configures a network built by NewNetwork.
+type Option func(*Config)
+
+// WithLoss sets the independent per-link drop probability in [0, 1).
+func WithLoss(p float64) Option { return func(c *Config) { c.Loss = p } }
+
+// WithDelay bounds the per-packet delivery latency to [min, max] ticks
+// (min ≥ 1; packets are never delivered on the tick they are sent).
+func WithDelay(min, max int) Option {
+	return func(c *Config) { c.MinDelay, c.MaxDelay = min, max }
 }
 
-// Network is the simulated radio medium. It is not safe for concurrent
-// use; the protocol layer drives it from a single goroutine, matching
-// the deterministic-simulation idiom.
+// WithSeed seeds the loss and jitter randomness.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// Network is the simulated radio medium: the flat batched core (see the
+// package comment for the layout). It is not safe for concurrent use;
+// the protocol layer drives it from a single goroutine, matching the
+// deterministic-simulation idiom.
 type Network struct {
-	cfg     Config
-	rng     *stats.RNG
-	nodes   map[NodeID]*node
-	order   []NodeID // deterministic iteration order
-	pending map[int][]Message
-	now     int
+	cfg Config
+	rng *stats.RNG
+
+	// Dense node storage, parallel slices in insertion order.
+	ids   []NodeID
+	pos   []geometry.Point
+	radio []float64
+	down  []bool
+	inbox [][]Message
+	idx   map[NodeID]int32 // NodeID → dense index
+
+	// byID lists dense indices in ascending NodeID order; it defines
+	// the deterministic neighborhood and BFS enumeration order.
+	byID []int32
+
+	// Spatial hash over node positions: item k of the index is the node
+	// at dense index byID[k], every item carrying Reach = maxRadio so a
+	// query point within any node's transmission range is guaranteed to
+	// see that node among its candidates. nil marks the index stale
+	// (nodes were added); it is rebuilt lazily on the next neighborhood
+	// query.
+	index    *grid.Index
+	maxRadio float64
+	gridBuf  []int32 // candidate scratch (grid item indices)
+	neighBuf []int32 // neighbor scratch (dense indices, ascending NodeID)
+
+	// ring is the pending store: bucket (t % len(ring)) holds the
+	// messages due at tick t. len(ring) = MaxDelay+1 and MinDelay ≥ 1,
+	// so an enqueue at tick now can never land in the bucket being
+	// drained; buckets are truncated (not freed) on drain so steady
+	// state appends into retained capacity.
+	ring [][]Message
+	now  int
+
 	// counters
 	sent, delivered, dropped int
+
+	// Connected scratch
+	visited []bool
+	queue   []int32
 }
 
-// New builds an empty network.
-func New(cfg Config) (*Network, error) {
+// NewNetwork builds an empty network configured by options, e.g.
+//
+//	net, err := netsim.NewNetwork(netsim.WithLoss(0.2), netsim.WithSeed(7))
+//
+// The defaults are lossless next-tick delivery with seed 0.
+func NewNetwork(opts ...Option) (*Network, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newNetwork(cfg)
+}
+
+// New builds an empty network from a Config.
+//
+// Deprecated: use NewNetwork with WithLoss/WithDelay/WithSeed options.
+func New(cfg Config) (*Network, error) { return newNetwork(cfg) }
+
+func newNetwork(cfg Config) (*Network, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
 	return &Network{
-		cfg:     cfg,
-		rng:     stats.NewRNG(cfg.Seed),
-		nodes:   make(map[NodeID]*node),
-		pending: make(map[int][]Message),
+		cfg:  cfg,
+		rng:  stats.NewRNG(cfg.Seed),
+		idx:  make(map[NodeID]int32),
+		ring: make([][]Message, cfg.MaxDelay+1),
 	}, nil
 }
 
-// AddNode registers a node with a position and radio range.
-func (n *Network) AddNode(id NodeID, pos geometry.Point, radioRange float64) error {
-	if _, ok := n.nodes[id]; ok {
-		return fmt.Errorf("netsim: duplicate node %d", id)
+// validateSpec rejects a spec that cannot join the network.
+func (n *Network) validateSpec(s NodeSpec) error {
+	if _, ok := n.idx[s.ID]; ok {
+		return fmt.Errorf("netsim: duplicate node %d", s.ID)
 	}
-	if radioRange <= 0 {
-		return fmt.Errorf("netsim: node %d has non-positive radio range %v", id, radioRange)
+	if s.Radio <= 0 {
+		return fmt.Errorf("netsim: node %d has non-positive radio range %v", s.ID, s.Radio)
 	}
-	n.nodes[id] = &node{id: id, pos: pos, radio: radioRange}
-	n.order = append(n.order, id)
-	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
 	return nil
+}
+
+// appendNode appends a validated spec to the dense arrays (byID and the
+// spatial index are the caller's responsibility).
+func (n *Network) appendNode(s NodeSpec) int32 {
+	di := int32(len(n.ids))
+	n.ids = append(n.ids, s.ID)
+	n.pos = append(n.pos, s.Pos)
+	n.radio = append(n.radio, s.Radio)
+	n.down = append(n.down, false)
+	n.inbox = append(n.inbox, nil)
+	n.idx[s.ID] = di
+	if s.Radio > n.maxRadio {
+		n.maxRadio = s.Radio
+	}
+	return di
+}
+
+// AddNode registers a single node with a position and radio range. The
+// node is spliced into the sorted ID order in place (binary search +
+// shift); bulk registration should prefer AddNodes, which sorts once.
+func (n *Network) AddNode(id NodeID, pos geometry.Point, radioRange float64) error {
+	s := NodeSpec{ID: id, Pos: pos, Radio: radioRange}
+	if err := n.validateSpec(s); err != nil {
+		return err
+	}
+	di := n.appendNode(s)
+	at := sort.Search(len(n.byID), func(i int) bool { return n.ids[n.byID[i]] >= id })
+	n.byID = append(n.byID, 0)
+	copy(n.byID[at+1:], n.byID[at:])
+	n.byID[at] = di
+	n.index = nil
+	return nil
+}
+
+// AddNodes bulk-registers a fleet. Validation happens before any
+// mutation (the call is atomic: either every spec joins or none does),
+// and the sorted ID order is rebuilt with a single sort instead of one
+// insertion per node, making registration O(k log k) for k nodes.
+func (n *Network) AddNodes(specs []NodeSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	seen := make(map[NodeID]struct{}, len(specs))
+	for _, s := range specs {
+		if err := n.validateSpec(s); err != nil {
+			return err
+		}
+		if _, dup := seen[s.ID]; dup {
+			return fmt.Errorf("netsim: duplicate node %d", s.ID)
+		}
+		seen[s.ID] = struct{}{}
+	}
+	for _, s := range specs {
+		n.appendNode(s)
+	}
+	n.byID = n.byID[:0]
+	for di := range n.ids {
+		n.byID = append(n.byID, int32(di))
+	}
+	sort.Slice(n.byID, func(i, j int) bool { return n.ids[n.byID[i]] < n.ids[n.byID[j]] })
+	n.index = nil
+	return nil
+}
+
+// ensureIndex (re)builds the spatial hash after node additions. Items
+// are enumerated in ascending NodeID order so grid candidates — which
+// ascend by item index — map to ascending NodeIDs without re-sorting.
+func (n *Network) ensureIndex() {
+	if n.index != nil {
+		return
+	}
+	items := make([]grid.Item, len(n.byID))
+	for k, di := range n.byID {
+		items[k] = grid.Item{Pos: grid.Point(n.pos[di]), Reach: n.maxRadio}
+	}
+	n.index = grid.Build(items)
+}
+
+// neighborIndices returns the dense indices of the up nodes within
+// radio range of the (up) node at dense index si, ascending by NodeID.
+// The returned slice aliases an internal scratch buffer: it is valid
+// until the next neighborhood query.
+func (n *Network) neighborIndices(si int32) []int32 {
+	out := n.neighBuf[:0]
+	if n.down[si] {
+		n.neighBuf = out
+		return out
+	}
+	n.ensureIndex()
+	n.gridBuf = n.index.CandidatesInto(n.gridBuf, grid.Point(n.pos[si]))
+	sp, sr := n.pos[si], n.radio[si]
+	for _, k := range n.gridBuf {
+		di := n.byID[k]
+		if di == si || n.down[di] {
+			continue
+		}
+		if sp.Dist(n.pos[di]) <= sr {
+			out = append(out, di)
+		}
+	}
+	n.neighBuf = out
+	return out
 }
 
 // Now returns the current tick.
 func (n *Network) Now() int { return n.now }
 
 // NumNodes returns the number of registered nodes.
-func (n *Network) NumNodes() int { return len(n.nodes) }
+func (n *Network) NumNodes() int { return len(n.ids) }
 
 // Neighbors returns the nodes within radio range of id (symmetric links
 // require both radios to reach; we use the transmitter's range, the
-// usual unit-disk model).
+// usual unit-disk model), ascending by node ID. A down node has no
+// neighbors. The slice is freshly allocated; the hot paths (Batch,
+// Connected) use the internal zero-alloc query instead.
 func (n *Network) Neighbors(id NodeID) ([]NodeID, error) {
-	src, ok := n.nodes[id]
+	si, ok := n.idx[id]
 	if !ok {
-		return nil, fmt.Errorf("netsim: unknown node %d", id)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
-	if src.down {
+	neigh := n.neighborIndices(si)
+	if len(neigh) == 0 {
 		return nil, nil
 	}
-	var out []NodeID
-	for _, other := range n.order {
-		if other == id {
-			continue
-		}
-		dst := n.nodes[other]
-		if !dst.down && src.pos.Dist(dst.pos) <= src.radio {
-			out = append(out, other)
-		}
+	out := make([]NodeID, len(neigh))
+	for k, di := range neigh {
+		out[k] = n.ids[di]
 	}
 	return out, nil
 }
@@ -141,50 +330,72 @@ func (n *Network) Neighbors(id NodeID) ([]NodeID, error) {
 // sends nor receives: its queued deliveries are silently dropped and it
 // disappears from every neighborhood until brought back up.
 func (n *Network) SetDown(id NodeID, down bool) error {
-	nd, ok := n.nodes[id]
+	di, ok := n.idx[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
-	nd.down = down
+	n.down[di] = down
 	if down {
-		nd.inbox = nil
+		n.clearInbox(di)
 	}
 	return nil
 }
 
-// IsDown reports whether a node is currently failed.
-func (n *Network) IsDown(id NodeID) bool {
-	nd, ok := n.nodes[id]
-	return ok && nd.down
+// clearInbox empties a node's inbox, zeroing the vacated entries so the
+// retained backing array does not pin payload references.
+func (n *Network) clearInbox(di int32) {
+	box := n.inbox[di]
+	for i := range box {
+		box[i] = Message{}
+	}
+	n.inbox[di] = box[:0]
 }
 
-// Connected reports whether the radio graph is connected (every node
-// reachable from the first), a precondition for dissemination and
-// collection to terminate.
+// IsDown reports whether a node is currently failed.
+func (n *Network) IsDown(id NodeID) bool {
+	di, ok := n.idx[id]
+	return ok && n.down[di]
+}
+
+// Connected reports whether the radio graph is connected (every node —
+// including down ones — reachable from the lowest-ID node), a
+// precondition for dissemination and collection to terminate. Down
+// nodes relay nothing, so any down node in a multi-node network makes
+// it disconnected.
 func (n *Network) Connected() bool {
-	if len(n.order) <= 1 {
+	nn := len(n.ids)
+	if nn <= 1 {
 		return true
 	}
-	seen := map[NodeID]bool{n.order[0]: true}
-	queue := []NodeID{n.order[0]}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		neigh, err := n.Neighbors(cur)
-		if err != nil {
-			return false
-		}
-		for _, nb := range neigh {
-			if !seen[nb] {
-				seen[nb] = true
-				queue = append(queue, nb)
+	if cap(n.visited) < nn {
+		n.visited = make([]bool, nn)
+	}
+	n.visited = n.visited[:nn]
+	for i := range n.visited {
+		n.visited[i] = false
+	}
+	start := n.byID[0]
+	n.queue = append(n.queue[:0], start)
+	n.visited[start] = true
+	reached := 1
+	for head := 0; head < len(n.queue); head++ {
+		cur := n.queue[head]
+		for _, di := range n.neighborIndices(cur) {
+			if !n.visited[di] {
+				n.visited[di] = true
+				reached++
+				n.queue = append(n.queue, di)
 			}
 		}
 	}
-	return len(seen) == len(n.order)
+	return reached == nn
 }
 
-// enqueue schedules delivery of one message with loss and jitter.
+// enqueue schedules delivery of one message with loss and jitter. The
+// RNG draw sequence (one Bernoulli per packet, one Intn only when the
+// delay range is non-trivial) is the package contract: the reference
+// implementation draws identically, which is what makes seeded runs of
+// the two cores byte-comparable.
 func (n *Network) enqueue(m Message) {
 	n.sent++
 	if n.rng.Bernoulli(n.cfg.Loss) {
@@ -196,63 +407,92 @@ func (n *Network) enqueue(m Message) {
 		delay += n.rng.Intn(n.cfg.MaxDelay - n.cfg.MinDelay + 1)
 	}
 	m.DeliveredAt = n.now + delay
-	n.pending[m.DeliveredAt] = append(n.pending[m.DeliveredAt], m)
+	slot := m.DeliveredAt % len(n.ring)
+	n.ring[slot] = append(n.ring[slot], m)
 }
 
-// Broadcast transmits a payload to every radio neighbor of from.
+// Batch transmits a payload to every radio neighbor of from in one
+// flat sweep — a single neighborhood resolution and a single RNG/loss
+// pass over the whole broadcast — and returns how many packets were
+// enqueued (the sent count; lost packets still count as sent). In
+// steady state Batch performs no allocations: the neighbor scratch and
+// the ring buckets retain their capacity across ticks.
+func (n *Network) Batch(from NodeID, payload any) (int, error) {
+	si, ok := n.idx[from]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, from)
+	}
+	neigh := n.neighborIndices(si)
+	for _, di := range neigh {
+		n.enqueue(Message{From: from, To: n.ids[di], Payload: payload, SentAt: n.now})
+	}
+	return len(neigh), nil
+}
+
+// Broadcast transmits a payload to every radio neighbor of from. It is
+// a thin wrapper over Batch.
 func (n *Network) Broadcast(from NodeID, payload any) error {
-	neigh, err := n.Neighbors(from)
-	if err != nil {
-		return err
-	}
-	for _, to := range neigh {
-		n.enqueue(Message{From: from, To: to, Payload: payload, SentAt: n.now})
-	}
-	return nil
+	_, err := n.Batch(from, payload)
+	return err
 }
 
 // Send transmits a payload to a specific neighbor. It returns an error
-// when the destination is not within radio range.
+// when the destination is not within radio range (or either endpoint is
+// down). Unlike the reference's neighborhood scan, the check is a
+// single O(1) distance test.
 func (n *Network) Send(from, to NodeID, payload any) error {
-	neigh, err := n.Neighbors(from)
-	if err != nil {
-		return err
+	si, ok := n.idx[from]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, from)
 	}
-	for _, nb := range neigh {
-		if nb == to {
-			n.enqueue(Message{From: from, To: to, Payload: payload, SentAt: n.now})
-			return nil
-		}
+	di, ok := n.idx[to]
+	if !ok || di == si || n.down[si] || n.down[di] ||
+		n.pos[si].Dist(n.pos[di]) > n.radio[si] {
+		return fmt.Errorf("netsim: node %d cannot reach %d", from, to)
 	}
-	return fmt.Errorf("netsim: node %d cannot reach %d", from, to)
+	n.enqueue(Message{From: from, To: to, Payload: payload, SentAt: n.now})
+	return nil
 }
 
-// Step advances the network by one tick, moving due messages into their
-// destinations' inboxes.
+// Step advances the network by one tick: a single drain of the due ring
+// bucket into the destinations' inboxes, in enqueue order.
 func (n *Network) Step() {
 	n.now++
-	due := n.pending[n.now]
-	delete(n.pending, n.now)
-	for _, m := range due {
-		dst, ok := n.nodes[m.To]
-		if !ok || dst.down {
+	slot := n.now % len(n.ring)
+	due := n.ring[slot]
+	for i, m := range due {
+		di, ok := n.idx[m.To]
+		if !ok || n.down[di] {
 			n.dropped++
-			continue
+		} else {
+			n.inbox[di] = append(n.inbox[di], m)
+			n.delivered++
 		}
-		dst.inbox = append(dst.inbox, m)
-		n.delivered++
+		due[i] = Message{} // release the payload reference
 	}
+	n.ring[slot] = due[:0]
 }
 
-// Receive drains and returns the inbox of a node.
-func (n *Network) Receive(id NodeID) ([]Message, error) {
-	nd, ok := n.nodes[id]
+// ReceiveInto drains the inbox of a node into buf[:0] and returns the
+// extended slice. When buf has sufficient capacity the call performs no
+// allocations; the internal inbox retains its capacity (entries are
+// zeroed so payload references are released). Delivery order is the
+// enqueue order of the due ticks.
+func (n *Network) ReceiveInto(id NodeID, buf []Message) ([]Message, error) {
+	di, ok := n.idx[id]
 	if !ok {
-		return nil, fmt.Errorf("netsim: unknown node %d", id)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
-	out := nd.inbox
-	nd.inbox = nil
-	return out, nil
+	buf = append(buf[:0], n.inbox[di]...)
+	n.clearInbox(di)
+	return buf, nil
+}
+
+// Receive drains and returns the inbox of a node. It is a thin wrapper
+// over ReceiveInto that allocates a fresh slice (nil when the inbox is
+// empty); hot paths should call ReceiveInto with a reused buffer.
+func (n *Network) Receive(id NodeID) ([]Message, error) {
+	return n.ReceiveInto(id, nil)
 }
 
 // Stats returns cumulative (sent, delivered, dropped) packet counts.
@@ -267,9 +507,9 @@ var ErrUnknownNode = errors.New("netsim: unknown node")
 
 // Position returns a node's position.
 func (n *Network) Position(id NodeID) (geometry.Point, error) {
-	nd, ok := n.nodes[id]
+	di, ok := n.idx[id]
 	if !ok {
 		return geometry.Point{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
-	return nd.pos, nil
+	return n.pos[di], nil
 }

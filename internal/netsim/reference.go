@@ -1,0 +1,260 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"cool/internal/geometry"
+	"cool/internal/stats"
+)
+
+// ReferenceNetwork is the original map-based radio medium, retained as
+// the behavioural yardstick for the flat batched Network. It delivers
+// events through map[NodeID]*node lookups, a map[int][]Message pending
+// store, and O(n) distance scans for every neighborhood query — the
+// shape the flat core replaces — but its semantics define the package:
+// the differential harness (diff_test.go, FuzzNetsimDiff) holds the
+// flat core to tick-for-tick identical delivery traces, counters, and
+// RNG draws against this implementation.
+//
+// Like Network it is not safe for concurrent use.
+type ReferenceNetwork struct {
+	cfg     Config
+	rng     *stats.RNG
+	nodes   map[NodeID]*refNode
+	order   []NodeID // deterministic iteration order, ascending
+	pending map[int][]Message
+	now     int
+	// counters
+	sent, delivered, dropped int
+}
+
+type refNode struct {
+	id    NodeID
+	pos   geometry.Point
+	radio float64
+	inbox []Message
+	down  bool
+}
+
+// NewReference builds an empty reference network.
+func NewReference(cfg Config) (*ReferenceNetwork, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &ReferenceNetwork{
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed),
+		nodes:   make(map[NodeID]*refNode),
+		pending: make(map[int][]Message),
+	}, nil
+}
+
+// AddNode registers a node with a position and radio range. The node is
+// inserted into the sorted iteration order in place (binary search +
+// shift) rather than re-sorting the whole slice per insertion.
+func (n *ReferenceNetwork) AddNode(id NodeID, pos geometry.Point, radioRange float64) error {
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("netsim: duplicate node %d", id)
+	}
+	if radioRange <= 0 {
+		return fmt.Errorf("netsim: node %d has non-positive radio range %v", id, radioRange)
+	}
+	n.nodes[id] = &refNode{id: id, pos: pos, radio: radioRange}
+	at := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= id })
+	n.order = append(n.order, 0)
+	copy(n.order[at+1:], n.order[at:])
+	n.order[at] = id
+	return nil
+}
+
+// AddNodes bulk-registers nodes, mirroring Network.AddNodes so the
+// differential harness can drive both implementations with one script.
+func (n *ReferenceNetwork) AddNodes(specs []NodeSpec) error {
+	for _, s := range specs {
+		if err := n.AddNode(s.ID, s.Pos, s.Radio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Now returns the current tick.
+func (n *ReferenceNetwork) Now() int { return n.now }
+
+// NumNodes returns the number of registered nodes.
+func (n *ReferenceNetwork) NumNodes() int { return len(n.nodes) }
+
+// Neighbors returns the nodes within radio range of id via a full O(n)
+// distance scan, ascending by node ID.
+func (n *ReferenceNetwork) Neighbors(id NodeID) ([]NodeID, error) {
+	src, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if src.down {
+		return nil, nil
+	}
+	var out []NodeID
+	for _, other := range n.order {
+		if other == id {
+			continue
+		}
+		dst := n.nodes[other]
+		if !dst.down && src.pos.Dist(dst.pos) <= src.radio {
+			out = append(out, other)
+		}
+	}
+	return out, nil
+}
+
+// SetDown marks a node failed (or recovered). A down node neither
+// sends nor receives: its queued deliveries are silently dropped and it
+// disappears from every neighborhood until brought back up.
+func (n *ReferenceNetwork) SetDown(id NodeID, down bool) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	nd.down = down
+	if down {
+		nd.inbox = nil
+	}
+	return nil
+}
+
+// IsDown reports whether a node is currently failed.
+func (n *ReferenceNetwork) IsDown(id NodeID) bool {
+	nd, ok := n.nodes[id]
+	return ok && nd.down
+}
+
+// Connected reports whether the radio graph is connected (every node
+// reachable from the first).
+func (n *ReferenceNetwork) Connected() bool {
+	if len(n.order) <= 1 {
+		return true
+	}
+	seen := map[NodeID]bool{n.order[0]: true}
+	queue := []NodeID{n.order[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		neigh, err := n.Neighbors(cur)
+		if err != nil {
+			return false
+		}
+		for _, nb := range neigh {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(seen) == len(n.order)
+}
+
+// enqueue schedules delivery of one message with loss and jitter.
+func (n *ReferenceNetwork) enqueue(m Message) {
+	n.sent++
+	if n.rng.Bernoulli(n.cfg.Loss) {
+		n.dropped++
+		return
+	}
+	delay := n.cfg.MinDelay
+	if n.cfg.MaxDelay > n.cfg.MinDelay {
+		delay += n.rng.Intn(n.cfg.MaxDelay - n.cfg.MinDelay + 1)
+	}
+	m.DeliveredAt = n.now + delay
+	n.pending[m.DeliveredAt] = append(n.pending[m.DeliveredAt], m)
+}
+
+// Broadcast transmits a payload to every radio neighbor of from.
+func (n *ReferenceNetwork) Broadcast(from NodeID, payload any) error {
+	_, err := n.Batch(from, payload)
+	return err
+}
+
+// Batch transmits a payload to every radio neighbor of from and returns
+// how many packets were enqueued, mirroring Network.Batch.
+func (n *ReferenceNetwork) Batch(from NodeID, payload any) (int, error) {
+	neigh, err := n.Neighbors(from)
+	if err != nil {
+		return 0, err
+	}
+	for _, to := range neigh {
+		n.enqueue(Message{From: from, To: to, Payload: payload, SentAt: n.now})
+	}
+	return len(neigh), nil
+}
+
+// Send transmits a payload to a specific neighbor. It returns an error
+// when the destination is not within radio range.
+func (n *ReferenceNetwork) Send(from, to NodeID, payload any) error {
+	neigh, err := n.Neighbors(from)
+	if err != nil {
+		return err
+	}
+	for _, nb := range neigh {
+		if nb == to {
+			n.enqueue(Message{From: from, To: to, Payload: payload, SentAt: n.now})
+			return nil
+		}
+	}
+	return fmt.Errorf("netsim: node %d cannot reach %d", from, to)
+}
+
+// Step advances the network by one tick, moving due messages into their
+// destinations' inboxes.
+func (n *ReferenceNetwork) Step() {
+	n.now++
+	due := n.pending[n.now]
+	delete(n.pending, n.now)
+	for _, m := range due {
+		dst, ok := n.nodes[m.To]
+		if !ok || dst.down {
+			n.dropped++
+			continue
+		}
+		dst.inbox = append(dst.inbox, m)
+		n.delivered++
+	}
+}
+
+// Receive drains and returns the inbox of a node.
+func (n *ReferenceNetwork) Receive(id NodeID) ([]Message, error) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	out := nd.inbox
+	nd.inbox = nil
+	return out, nil
+}
+
+// ReceiveInto drains the inbox of a node into buf[:0], mirroring
+// Network.ReceiveInto (the reference path still allocates internally;
+// only the flat core carries the zero-alloc contract).
+func (n *ReferenceNetwork) ReceiveInto(id NodeID, buf []Message) ([]Message, error) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	buf = append(buf[:0], nd.inbox...)
+	nd.inbox = nil
+	return buf, nil
+}
+
+// Stats returns cumulative (sent, delivered, dropped) packet counts.
+func (n *ReferenceNetwork) Stats() (sent, delivered, dropped int) {
+	return n.sent, n.delivered, n.dropped
+}
+
+// Position returns a node's position.
+func (n *ReferenceNetwork) Position(id NodeID) (geometry.Point, error) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return geometry.Point{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return nd.pos, nil
+}

@@ -150,6 +150,10 @@ type Engine struct {
 	seenReports map[string]bool
 	aggValues   map[int]func(netsim.NodeID) float64
 	aggResults  map[int]*AggMsg
+	// rx is the reused delivery buffer for netsim.ReceiveInto: one
+	// engine drains every node's inbox through it each tick, so the
+	// per-node per-tick Receive allocation of the old API is gone.
+	rx []netsim.Message
 }
 
 // NewEngine wraps a network whose nodes are already registered. Every
@@ -193,8 +197,13 @@ func (e *Engine) Register(id netsim.NodeID) error {
 		st.acked = true
 	}
 	e.nodes[id] = st
-	e.order = append(e.order, id)
-	sort.Slice(e.order, func(i, j int) bool { return e.order[i] < e.order[j] })
+	// In-place sorted insertion: binary search + shift instead of a
+	// full re-sort per registration (the old path was O(n² log n) for a
+	// fleet of n, the same bulk-registration bug netsim.AddNode had).
+	at := sort.Search(len(e.order), func(i int) bool { return e.order[i] >= id })
+	e.order = append(e.order, 0)
+	copy(e.order[at+1:], e.order[at:])
+	e.order[at] = id
 	return nil
 }
 
@@ -265,13 +274,16 @@ func (e *Engine) Tick() error {
 		}
 	}
 
-	// Every node: drain inbox, react, flush outbox.
+	// Every node: drain inbox, react, flush outbox. The drain goes
+	// through ReceiveInto with the engine's reused buffer — zero
+	// allocations per node once the buffer has warmed up.
 	for _, id := range e.order {
 		st := e.nodes[id]
-		msgs, err := e.net.Receive(id)
+		msgs, err := e.net.ReceiveInto(id, e.rx)
 		if err != nil {
 			return err
 		}
+		e.rx = msgs
 		for _, m := range msgs {
 			if err := e.handle(st, m); err != nil {
 				return err

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"cool/internal/solar"
+)
+
+func campaignRecords(t *testing.T, nodes int) []Record {
+	t.Helper()
+	recs, err := Campaign(CampaignConfig{
+		Nodes:    nodes,
+		Days:     []solar.Weather{solar.WeatherSunny},
+		Interval: time.Hour,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestReplayCollectionDeliversAllReports(t *testing.T) {
+	recs := campaignRecords(t, 4)
+	res, err := ReplayCollection(recs, ReplayConfig{
+		Loss:           0.2,
+		SamplesPerNode: 2,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 4 {
+		t.Errorf("Nodes = %d, want 4", res.Nodes)
+	}
+	if res.Expected != 8 {
+		t.Errorf("Expected = %d, want 8", res.Expected)
+	}
+	if !res.Complete || res.Collected != res.Expected {
+		t.Errorf("collection incomplete: %+v", res)
+	}
+	if res.Sent == 0 || res.Delivered == 0 {
+		t.Errorf("no radio traffic recorded: %+v", res)
+	}
+	if res.Sent != res.Delivered+res.Dropped {
+		t.Errorf("stats inconsistent: %+v", res)
+	}
+	if res.Ticks <= 0 {
+		t.Errorf("Ticks = %d", res.Ticks)
+	}
+}
+
+func TestReplayCollectionDeterministic(t *testing.T) {
+	recs := campaignRecords(t, 3)
+	cfg := ReplayConfig{Loss: 0.3, SamplesPerNode: 2, Seed: 7}
+	a, err := ReplayCollection(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayCollection(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("replay not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplayCollectionValidation(t *testing.T) {
+	recs := campaignRecords(t, 2)
+	if _, err := ReplayCollection(nil, ReplayConfig{}); err == nil {
+		t.Error("empty record set accepted")
+	}
+	if _, err := ReplayCollection(recs, ReplayConfig{Loss: -0.5}); err == nil {
+		t.Error("negative loss accepted")
+	}
+	if _, err := ReplayCollection(recs, ReplayConfig{Spacing: -1}); err == nil {
+		t.Error("negative spacing accepted")
+	}
+	// A range far below the spacing leaves the grid disconnected.
+	if _, err := ReplayCollection(recs, ReplayConfig{Spacing: 30, RadioRange: 1}); err == nil {
+		t.Error("disconnected radio grid accepted")
+	}
+}
