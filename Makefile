@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels figures examples fuzz clean
 
 all: build vet test
 
@@ -57,6 +57,16 @@ bench-netsim:
 	$(GO) test -run xxx -bench 'Netsim' -benchmem -benchtime 10x ./internal/netsim/
 	$(GO) run ./cmd/coolbench -fig netsim -quick
 
+# Kernel smoke pass: vet, then the unrolled popcount/Eval and
+# sparse-refresh benchmarks with allocation reporting (the refresh and
+# whole-set sweeps must report 0 allocs/op), then the quick
+# scalar-vs-kernel / full-vs-sparse audit that re-checks bit identity
+# and schedules_identical before writing BENCH_kernels.json.
+bench-kernels:
+	$(GO) vet ./...
+	$(GO) test -run xxx -bench 'Kernel' -benchmem -benchtime 100x ./internal/bitset/ ./internal/submodular/
+	$(GO) run ./cmd/coolbench -fig kernels -quick
+
 # Regenerate every paper figure and ablation into results/.
 figures:
 	$(GO) run ./cmd/coolbench -fig all -out results/
@@ -73,6 +83,7 @@ fuzz:
 	$(GO) test ./internal/lp/ -fuzz FuzzSolveRobustness -fuzztime 30s
 	$(GO) test ./internal/geometry/grid/ -fuzz FuzzGridCandidates -fuzztime 30s
 	$(GO) test ./internal/netsim/ -fuzz FuzzNetsimDiff -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzEngineEquivalence -fuzztime 30s
 
 clean:
 	rm -rf results/ testdata/fuzz

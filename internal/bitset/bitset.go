@@ -65,13 +65,42 @@ func (s Bitset) Remove(v int) {
 	s.words[v>>6] &^= 1 << (uint(v) & 63)
 }
 
-// Count returns the number of members (popcount over the words).
+// Count returns the number of members. It runs on the package's
+// unrolled popcount kernel (see popcount.go); CountScalar retains the
+// plain word loop as the bit-exact reference.
 func (s Bitset) Count() int {
+	return popcountWords(s.words)
+}
+
+// CountScalar is the pre-kernel scalar popcount loop, retained verbatim
+// as the differential reference for Count: the kernel tests and the
+// `coolbench -fig kernels` audit require Count() == CountScalar() on
+// every input. New code should call Count.
+func (s Bitset) CountScalar() int {
 	c := 0
 	for _, w := range s.words {
 		c += bits.OnesCount64(w)
 	}
 	return c
+}
+
+// And intersects the receiver with o in place (s ← s ∩ o). It panics
+// when the universes differ, mirroring the CopyFrom compatibility rule.
+func (s Bitset) And(o Bitset) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: And universe mismatch %d != %d", s.n, o.n))
+	}
+	andWords(s.words, o.words)
+}
+
+// AndCount returns |s ∩ o| without modifying either set — a fused
+// popcount over the word-wise intersection. It panics when the
+// universes differ.
+func (s Bitset) AndCount(o Bitset) int {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: AndCount universe mismatch %d != %d", s.n, o.n))
+	}
+	return popcountAndWords(s.words, o.words)
 }
 
 // Clear empties the set in place.

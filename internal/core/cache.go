@@ -60,7 +60,10 @@ type candidate struct {
 // sensors in [lo, hi), scanning sensors then slots in ascending order
 // with a strict > comparison — ties therefore resolve to the lowest
 // (v, t) pair, exactly like the seed's eager scan, which keeps every
-// engine (sequential, lazy, parallel) bit-identical.
+// engine (sequential, lazy, parallel) bit-identical. The parallel
+// engine now scans compacted pending sublists (argmaxPending); the
+// dense range scan is retained as the differential reference the
+// pending-list scans are tested against.
 func (c *marginCache) argmaxRange(lo, hi int, assign []int) candidate {
 	best := candidate{v: -1, t: -1, value: -1}
 	for v := lo; v < hi; v++ {
@@ -87,6 +90,53 @@ func (c *marginCache) argminRange(lo, hi int, assign []int) candidate {
 		if assign[v] >= 0 {
 			continue
 		}
+		for t := 0; t < c.T; t++ {
+			if l := c.vals[t*c.n+v]; !found || l < best.value {
+				best = candidate{v: v, t: t, value: l}
+				found = true
+			}
+		}
+	}
+	return best
+}
+
+// fillSlotPending recomputes slot t's column entries for exactly the
+// sensors in pending — a worker's compacted ascending sublist of
+// still-unassigned sensors — using eval (an oracle's Gain or Loss
+// method). It is the pending-list counterpart of fillSlot: same
+// entries written in the same ascending order, minus the dead
+// assigned-sensor iterations and their skip branch.
+func (c *marginCache) fillSlotPending(t int, pending []int, eval func(v int) float64) {
+	base := t * c.n
+	for _, v := range pending {
+		c.vals[base+v] = eval(v)
+	}
+}
+
+// argmaxPending returns the maximum-gain candidate over pending × all
+// slots, scanning sensors then slots in ascending order with a strict
+// > comparison — the pending-list counterpart of argmaxRange. Because
+// pending preserves ascending sensor order and contains exactly the
+// unassigned sensors of its owner's range, the scan visits the same
+// live (v, t) pairs in the same order as argmaxRange over that range,
+// so the result (including every tie-break) is identical.
+func (c *marginCache) argmaxPending(pending []int) candidate {
+	best := candidate{v: -1, t: -1, value: -1}
+	for _, v := range pending {
+		for t := 0; t < c.T; t++ {
+			if g := c.vals[t*c.n+v]; g > best.value {
+				best = candidate{v: v, t: t, value: g}
+			}
+		}
+	}
+	return best
+}
+
+// argminPending is the removal-mode dual of argmaxPending.
+func (c *marginCache) argminPending(pending []int) candidate {
+	best := candidate{v: -1, t: -1}
+	found := false
+	for _, v := range pending {
 		for t := 0; t < c.T; t++ {
 			if l := c.vals[t*c.n+v]; !found || l < best.value {
 				best = candidate{v: v, t: t, value: l}

@@ -27,7 +27,9 @@ func Greedy(in Instance) (*Schedule, error) {
 // scheduled. It carries a dirty-slot marginal cache (see marginCache)
 // plus one cached best candidate per slot: after a step only the slot
 // that received the Add has stale gains, so each step refreshes one
-// column (a single bulk sweep when the oracle supports it) and rescans
+// column (a column-sparse sweep over just the sensors sharing a target
+// with the added sensor when the oracle supports the sparse-refresh
+// contract, a single bulk sweep otherwise) and rescans
 // only the columns the step could have changed — the dirty column, and
 // any column whose cached best was the just-assigned sensor. Removing a
 // sensor that is *not* a column's recorded argmax can never change that
@@ -59,8 +61,10 @@ func greedyPlacement(in Instance) (*Schedule, error) {
 		oracles[best.t].Add(best.v)
 		assign[best.v] = best.t
 		pending = dropPending(pending, best.v)
-		// Dirty-slot refresh: only best.t's oracle changed.
-		fillColumn(cache, best.t, oracles[best.t], assign, false)
+		// Dirty-slot refresh: only best.t's oracle changed — and within
+		// it, only the sensors sharing a target with best.v (sparse
+		// refresh when the oracle supports it; see refreshColumnAfter).
+		refreshColumnAfter(cache, best.t, oracles[best.t], assign, false, best.v)
 		colBest[best.t] = cache.argmaxColumn(best.t, pending)
 		for t := 0; t < T; t++ {
 			if t != best.t && colBest[t].v == best.v {
@@ -94,6 +98,31 @@ func fillColumn(cache *marginCache, t int, o submodular.RemovalOracle, assign []
 	cache.fillSlot(t, 0, cache.n, assign, o.Gain)
 }
 
+// refreshColumnAfter refreshes slot t's cache column after its oracle
+// absorbed the Add (placement) or Remove (removal) of sensor changed.
+// When the oracle implements the column-sparse refresh contract
+// (submodular.SparseGainRefresher / SparseLossRefresher) only the CSR
+// rows of the targets changed covers are swept — O(affected) work
+// instead of a full O(n + edges) column rebuild — and the contract
+// guarantees the resulting column is bit-identical to a full refresh:
+// unaffected sensors' marginals cannot have changed (their per-target
+// state was untouched by the mutation) and affected sensors are
+// recomputed through the same Gain/Loss arithmetic the bulk sweep is
+// contractually identical to. Oracles without the sparse contract fall
+// back to the full-column fillColumn path.
+func refreshColumnAfter(cache *marginCache, t int, o submodular.RemovalOracle, assign []int, removal bool, changed int) {
+	if removal {
+		if sr, ok := o.(submodular.SparseLossRefresher); ok {
+			sr.SparseLossRefresh(changed, cache.column(t))
+			return
+		}
+	} else if sr, ok := o.(submodular.SparseGainRefresher); ok {
+		sr.SparseGainRefresh(changed, cache.column(t))
+		return
+	}
+	fillColumn(cache, t, o, assign, removal)
+}
+
 // greedyRemoval is the ρ ≤ 1 scheme: start from "every sensor active in
 // every slot" and, sensor by sensor, choose the passive slot whose
 // removal loses the least utility. It uses the same dirty-slot cache
@@ -125,7 +154,7 @@ func greedyRemoval(in Instance) (*Schedule, error) {
 		oracles[best.t].Remove(best.v)
 		assign[best.v] = best.t
 		pending = dropPending(pending, best.v)
-		fillColumn(cache, best.t, oracles[best.t], assign, true)
+		refreshColumnAfter(cache, best.t, oracles[best.t], assign, true, best.v)
 		colBest[best.t] = cache.argminColumn(best.t, pending)
 		for t := 0; t < T; t++ {
 			if t != best.t && colBest[t].v == best.v {
@@ -152,6 +181,18 @@ func newPending(n int) []int {
 	pending := make([]int, n)
 	for v := range pending {
 		pending[v] = v
+	}
+	return pending
+}
+
+// rangePending returns the ascending list of the sensors in [lo, hi) —
+// one parallel worker's compacted sublist of its static sensor range,
+// shrunk by dropPending as sensors are scheduled, mirroring the
+// sequential engine's newPending over the full ground set.
+func rangePending(lo, hi int) []int {
+	pending := make([]int, hi-lo)
+	for i := range pending {
+		pending[i] = lo + i
 	}
 	return pending
 }

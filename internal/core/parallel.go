@@ -221,6 +221,18 @@ func (s *oracleShards) applyReplica(w, t, v int, add bool) {
 // parallelRemoval: fill the marginal cache in parallel, then repeat
 // {merge per-worker candidates → mutate the chosen slot → refresh the
 // dirty column and rescan in parallel} until every sensor is assigned.
+//
+// Each worker owns a compacted pending sublist of its static sensor
+// range — the parallel counterpart of the sequential engine's pending
+// list. Dirty-column refreshes and candidate rescans iterate the
+// sublist instead of the full range with an assigned-check branch;
+// because every sublist preserves ascending sensor order and the
+// chosen sensor is dropped from exactly its owner's sublist before the
+// worker refreshes or scans, each phase visits the same live (v, t)
+// pairs in the same order as the full-range scan, so the merged result
+// (including every tie-break) is bit-identical. A worker only ever
+// touches its own sublist, and only inside its own parallel phase, so
+// the compaction adds no cross-goroutine traffic.
 func parallelClimb(in Instance, workers int, removal bool) (*Schedule, error) {
 	T := in.Period.Slots()
 	n := in.N
@@ -234,6 +246,10 @@ func parallelClimb(in Instance, workers int, removal bool) (*Schedule, error) {
 	bounds := chunkBounds(n, workers)
 	workers = len(bounds) - 1
 	locals := make([]candidate, workers)
+	pend := make([][]int, workers)
+	for w := range pend {
+		pend[w] = rangePending(bounds[w], bounds[w+1])
+	}
 
 	// margin returns worker w's evaluation function for slot t.
 	margin := func(w, t int) func(int) float64 {
@@ -244,9 +260,9 @@ func parallelClimb(in Instance, workers int, removal bool) (*Schedule, error) {
 	}
 	scan := func(w int) candidate {
 		if removal {
-			return cache.argminRange(bounds[w], bounds[w+1], assign)
+			return cache.argminPending(pend[w])
 		}
-		return cache.argmaxRange(bounds[w], bounds[w+1], assign)
+		return cache.argmaxPending(pend[w])
 	}
 	merge := func() candidate {
 		if removal {
@@ -256,10 +272,11 @@ func parallelClimb(in Instance, workers int, removal bool) (*Schedule, error) {
 	}
 
 	// Initial fill: every worker evaluates all T slots for its sensor
-	// range, then records its local best.
+	// range (the sublists still cover the full ranges), then records
+	// its local best.
 	if err := parallel.For(workers, workers, func(w int) error {
 		for t := 0; t < T; t++ {
-			cache.fillSlot(t, bounds[w], bounds[w+1], assign, margin(w, t))
+			cache.fillSlotPending(t, pend[w], margin(w, t))
 		}
 		locals[w] = scan(w)
 		return nil
@@ -284,13 +301,17 @@ func parallelClimb(in Instance, workers int, removal bool) (*Schedule, error) {
 			shards.applyShared(bt, bv, !removal)
 		}
 		if err := parallel.For(workers, workers, func(w int) error {
-			// Replay the mutation on private replicas, refresh the
+			// Drop the scheduled sensor from its owner's sublist,
+			// replay the mutation on private replicas, refresh the
 			// dirty column, and rescan. Slots other than bt are
 			// untouched, so their cached marginals remain exact.
+			if bv >= bounds[w] && bv < bounds[w+1] {
+				pend[w] = dropPending(pend[w], bv)
+			}
 			if !shards.shared {
 				shards.applyReplica(w, bt, bv, !removal)
 			}
-			cache.fillSlot(bt, bounds[w], bounds[w+1], assign, margin(w, bt))
+			cache.fillSlotPending(bt, pend[w], margin(w, bt))
 			locals[w] = scan(w)
 			return nil
 		}); err != nil {

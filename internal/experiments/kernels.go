@@ -1,0 +1,441 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cool/internal/bitset"
+	"cool/internal/core"
+	"cool/internal/energy"
+	"cool/internal/geometry"
+	"cool/internal/parallel"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+	"cool/internal/wsn"
+)
+
+// This file is the hot-path kernel benchmark behind `coolbench -fig
+// kernels`: the unrolled scatter/popcount kernels and the column-sparse
+// dirty refresh against their retained scalar / full-column references,
+// on the same deployments. Three comparisons per workload size:
+//
+//  1. Bulk utility evaluation — DetectionUtility.Eval (unrolled
+//     survival scatter + unrolled complement reduction) vs EvalScalar
+//     (the pre-kernel loop, retained verbatim). Values must agree bit
+//     for bit.
+//  2. Bitset popcount — Count (4-word unrolled, independent
+//     accumulators) vs CountScalar. Counts must agree exactly.
+//  3. Greedy end-to-end — core.Greedy on sparse-refresh-capable
+//     oracles vs the same engine forced onto the full-column bulk
+//     refresh path (the sparse capability hidden behind a wrapper).
+//     Schedules must come out bit-identical, and additionally
+//     bit-identical to LazyGreedy, ParallelGreedy and — up to RefMaxN —
+//     the seed's ReferenceGreedy.
+//
+// Only time may differ; every identity is recorded in the emitted
+// BENCH_kernels.json and asserted by the benchmark-guard test.
+
+// noSparseOracle hides the column-sparse refresh capability of a
+// wrapped oracle while forwarding everything else (including the bulk
+// marginals and read-safety), forcing the greedy engine onto the
+// full-column refresh path — the "old" side of the kernels benchmark.
+type noSparseOracle struct {
+	submodular.RemovalOracle
+}
+
+var (
+	_ submodular.RemovalOracle = noSparseOracle{}
+	_ submodular.BulkGainer    = noSparseOracle{}
+	_ submodular.BulkLosser    = noSparseOracle{}
+)
+
+func (o noSparseOracle) BulkGain(out []float64) {
+	o.RemovalOracle.(submodular.BulkGainer).BulkGain(out)
+}
+
+func (o noSparseOracle) BulkLoss(out []float64) {
+	o.RemovalOracle.(submodular.BulkLosser).BulkLoss(out)
+}
+
+func (o noSparseOracle) ConcurrentReadSafe() bool {
+	return submodular.ReadsAreConcurrentSafe(o.RemovalOracle)
+}
+
+func (o noSparseOracle) Clone() submodular.Oracle {
+	c, ok := o.RemovalOracle.Clone().(submodular.RemovalOracle)
+	if !ok {
+		panic("experiments: wrapped oracle clones to a non-removal oracle")
+	}
+	return noSparseOracle{RemovalOracle: c}
+}
+
+// KernelsConfig parameterizes the kernel benchmark.
+type KernelsConfig struct {
+	// Sizes lists the sensor counts to benchmark (default 1000, 10000 —
+	// the issue's n=10³/10⁴ gates). Targets are Sizes[i]/10.
+	Sizes []int
+	// FieldSide is the deployment field side at n = 1000 sensors
+	// (default 500). Larger sizes scale the side by sqrt(n/1000) so the
+	// sensor *density* — and with it the mean incidence degree, which is
+	// what the sparse refresh's per-step cost depends on — stays constant
+	// while the full-column refresh cost grows with n. This is the
+	// standard constant-density scalability regime; a fixed field would
+	// instead grow the degree linearly with n and measure a denser
+	// problem, not a bigger one.
+	FieldSide float64
+	// Range, DetectP mirror the Figure-9 workload shape (defaults 60,
+	// 0.4). The default range gives a mean sensor degree of ~4-5 targets
+	// at the default density.
+	Range, DetectP float64
+	// Rho is the charging ratio (default 7 → T = 8 slots, placement
+	// mode).
+	Rho float64
+	// Iters is the timing repetitions per engine at each size; the
+	// minimum is reported (default 3; sizes above 4000 always use 1).
+	Iters int
+	// EvalReps is how many Eval calls are timed per measurement
+	// (default 64).
+	EvalReps int
+	// RefMaxN bounds the O(n²·T) ReferenceGreedy cross-check (default
+	// 1200; larger sizes skip the reference, never the other engines).
+	RefMaxN int
+	// Workers bounds the parallel determinism cross-check (0 or
+	// negative selects runtime.NumCPU).
+	Workers int
+	// Seed drives deployment randomness.
+	Seed uint64
+}
+
+func (c *KernelsConfig) defaults() error {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1000, 10000}
+	}
+	if c.FieldSide == 0 {
+		c.FieldSide = 500
+	}
+	if c.Range == 0 {
+		c.Range = 60
+	}
+	if c.DetectP == 0 {
+		c.DetectP = 0.4
+	}
+	if c.Rho == 0 {
+		c.Rho = 7
+	}
+	if c.Iters == 0 {
+		c.Iters = 3
+	}
+	if c.EvalReps == 0 {
+		c.EvalReps = 64
+	}
+	if c.RefMaxN == 0 {
+		c.RefMaxN = 1200
+	}
+	for _, n := range c.Sizes {
+		if n < 20 {
+			return fmt.Errorf("experiments: kernels size %d too small", n)
+		}
+	}
+	if c.Iters < 1 || c.EvalReps < 1 || c.DetectP < 0 || c.DetectP > 1 {
+		return fmt.Errorf("experiments: invalid kernels config %+v", *c)
+	}
+	if c.Rho < 1 {
+		return fmt.Errorf("experiments: kernels bench requires a placement-mode rho (>= 1), got %v", c.Rho)
+	}
+	return nil
+}
+
+// KernelsCase is the kernel-vs-reference measurement at one workload
+// size.
+type KernelsCase struct {
+	Sensors int `json:"sensors"`
+	Targets int `json:"targets"`
+	Slots   int `json:"slots"`
+	// EvalScalarNsOp / EvalKernelNsOp time one bulk Eval over the probe
+	// set (best of Iters, averaged over EvalReps calls) on the retained
+	// scalar loop and the unrolled kernels.
+	EvalScalarNsOp int64   `json:"eval_scalar_ns_op"`
+	EvalKernelNsOp int64   `json:"eval_kernel_ns_op"`
+	EvalSpeedup    float64 `json:"eval_speedup"`
+	// EvalBitIdentical records Eval(set) == EvalScalar(set) bit for bit.
+	EvalBitIdentical bool `json:"eval_bit_identical"`
+	// CountScalarNsOp / CountKernelNsOp time one popcount sweep over a
+	// 16n-bit set on the scalar loop and the 4-word unrolled kernel.
+	CountScalarNsOp int64   `json:"count_scalar_ns_op"`
+	CountKernelNsOp int64   `json:"count_kernel_ns_op"`
+	CountSpeedup    float64 `json:"count_speedup"`
+	CountIdentical  bool    `json:"count_identical"`
+	// GreedyFullNsOp / GreedySparseNsOp time one full greedy planner
+	// run with the dirty column refreshed by a full bulk sweep vs the
+	// column-sparse refresh (best of Iters).
+	GreedyFullNsOp   int64   `json:"greedy_full_ns_op"`
+	GreedySparseNsOp int64   `json:"greedy_sparse_ns_op"`
+	GreedySpeedup    float64 `json:"greedy_speedup"`
+	// RefChecked records whether the O(n²·T) ReferenceGreedy was part
+	// of the identity set (n ≤ RefMaxN).
+	RefChecked bool `json:"ref_checked"`
+	// SchedulesIdentical records that the sparse-refresh greedy, the
+	// full-refresh greedy, LazyGreedy, ParallelGreedy and (when
+	// RefChecked) ReferenceGreedy all returned the same assignment.
+	SchedulesIdentical bool `json:"schedules_identical"`
+}
+
+// KernelsResult is the machine-readable summary coolbench writes to
+// BENCH_kernels.json.
+type KernelsResult struct {
+	Workers int           `json:"workers"`
+	Cases   []KernelsCase `json:"cases"`
+}
+
+// bestOf runs fn Iters times and returns the minimum wall time.
+func bestOf(iters int, fn func() error) (int64, error) {
+	var best int64 = -1
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// bestOfPair interleaves two measurements A/B/A/B... and returns each
+// side's minimum wall time. Interleaving matters on a contended or
+// frequency-scaled host: measuring all of A then all of B lets a steal
+// or thermal window land entirely on one side and flip the reported
+// ratio, whereas adjacent samples see near-identical conditions and
+// the per-side minimum discards the disturbed pairs.
+func bestOfPair(iters int, a, b func()) (bestA, bestB int64) {
+	bestA, bestB = -1, -1
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		a()
+		if ns := time.Since(t0).Nanoseconds(); bestA < 0 || ns < bestA {
+			bestA = ns
+		}
+		t0 = time.Now()
+		b()
+		if ns := time.Since(t0).Nanoseconds(); bestB < 0 || ns < bestB {
+			bestB = ns
+		}
+	}
+	return bestA, bestB
+}
+
+// KernelsBench runs the kernel-vs-reference comparison across the
+// configured sizes and returns both a renderable Figure and the raw
+// machine-readable result.
+func KernelsBench(cfg KernelsConfig) (*Figure, *KernelsResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	period, err := energy.PeriodFromRho(cfg.Rho)
+	if err != nil {
+		return nil, nil, err
+	}
+	workers := parallel.Workers(cfg.Workers)
+	res := &KernelsResult{Workers: workers}
+	fig := &Figure{
+		ID:     "kernels-bench",
+		Title:  fmt.Sprintf("Oracle kernels: unrolled Eval/popcount + sparse dirty refresh vs scalar/full references, T=%d", period.Slots()),
+		XLabel: "sensors",
+		YLabel: "greedy planner milliseconds",
+	}
+	fullSeries := Series{Label: "full-column-refresh"}
+	sparseSeries := Series{Label: "sparse-refresh"}
+
+	for _, n := range cfg.Sizes {
+		m := n / 10
+		// Constant-density scaling: side ∝ √n keeps sensors-per-area (and
+		// hence incidence degree) fixed across sizes. See KernelsConfig.
+		side := cfg.FieldSide * math.Sqrt(float64(n)/1000.0)
+		net, err := wsn.Deploy(wsn.DeployConfig{
+			Field:   geometry.NewRect(geometry.Point{}, geometry.Point{X: side, Y: side}),
+			Sensors: n,
+			Targets: m,
+			Range:   cfg.Range,
+		}, stats.NewRNG(cfg.Seed+uint64(n)))
+		if err != nil {
+			return nil, nil, err
+		}
+		flat, err := wsn.BuildDetectionUtility(net, wsn.FixedProb(cfg.DetectP))
+		if err != nil {
+			return nil, nil, err
+		}
+		iters := cfg.Iters
+		if n > 4000 {
+			iters = 1
+		}
+		// The Eval/Count micro-measurements are orders of magnitude
+		// cheaper than a greedy run, so they always get at least 5
+		// best-of iterations regardless of the greedy budget — a single
+		// 100µs sample is dominated by scheduler noise.
+		microIters := iters
+		if microIters < 5 {
+			microIters = 5
+		}
+
+		// --- Bulk Eval: unrolled kernels vs retained scalar loop. ---
+		// The Eval probe runs on the same constant-density scaling but
+		// with a 220 sensing range: CSR rows of ~60 targets at every
+		// size, which is the regime the scatter kernels target — rows
+		// long enough that the unrolled blocks amortize both loop control
+		// and the per-row kernel call, and the full-slice blocks drop the
+		// idx/val bounds checks. The greedy deployment's ~4-5 element
+		// rows are all tail by construction (4-element blocks), so both
+		// paths degenerate to the same loop there and the comparison
+		// would only measure call overhead.
+		evalNet, err := wsn.Deploy(wsn.DeployConfig{
+			Field:   geometry.NewRect(geometry.Point{}, geometry.Point{X: side, Y: side}),
+			Sensors: n,
+			Targets: m,
+			Range:   220,
+		}, stats.NewRNG(cfg.Seed+uint64(n)+1))
+		if err != nil {
+			return nil, nil, err
+		}
+		evalUtil, err := wsn.BuildDetectionUtility(evalNet, wsn.FixedProb(cfg.DetectP))
+		if err != nil {
+			return nil, nil, err
+		}
+		// The probe set is capped at 500 sensors, sampled evenly across
+		// the deployment, so the touched CSR rows (~500×60 entries)
+		// stay cache-resident at every size: the probe measures kernel
+		// throughput, and an uncapped set at n=10⁴ would stream several
+		// MB of incidence data per call and measure memory bandwidth —
+		// identical for both loops — instead.
+		probe := n / 2
+		if probe > 500 {
+			probe = 500
+		}
+		stride := n / probe
+		set := make([]int, 0, probe)
+		for v := 0; v < n && len(set) < probe; v += stride {
+			set = append(set, v)
+		}
+		evalKernel := evalUtil.Eval(set)
+		evalScalar := evalUtil.EvalScalar(set)
+		scalarNs, kernelNs := bestOfPair(microIters,
+			func() {
+				for r := 0; r < cfg.EvalReps; r++ {
+					evalScalar = evalUtil.EvalScalar(set)
+				}
+			},
+			func() {
+				for r := 0; r < cfg.EvalReps; r++ {
+					evalKernel = evalUtil.Eval(set)
+				}
+			})
+		scalarNs /= int64(cfg.EvalReps)
+		kernelNs /= int64(cfg.EvalReps)
+
+		// --- Popcount: unrolled Count vs retained CountScalar. ---
+		bs := bitset.New(16 * n)
+		for i := 0; i < bs.Len(); i += 3 {
+			bs.Add(i)
+		}
+		countKernel, countScalar := bs.Count(), bs.CountScalar()
+		countScalarNs, countKernelNs := bestOfPair(microIters,
+			func() {
+				for r := 0; r < cfg.EvalReps; r++ {
+					countScalar = bs.CountScalar()
+				}
+			},
+			func() {
+				for r := 0; r < cfg.EvalReps; r++ {
+					countKernel = bs.Count()
+				}
+			})
+		countScalarNs /= int64(cfg.EvalReps)
+		countKernelNs /= int64(cfg.EvalReps)
+
+		// --- Greedy end-to-end: sparse vs full-column dirty refresh. ---
+		sparseIn := core.Instance{
+			N:       n,
+			Period:  period,
+			Factory: func() submodular.RemovalOracle { return flat.Oracle() },
+		}
+		fullIn := core.Instance{
+			N:       n,
+			Period:  period,
+			Factory: func() submodular.RemovalOracle { return noSparseOracle{RemovalOracle: flat.Oracle()} },
+		}
+		// One untimed warmup per engine.
+		if _, err := core.Greedy(sparseIn); err != nil {
+			return nil, nil, err
+		}
+		if _, err := core.Greedy(fullIn); err != nil {
+			return nil, nil, err
+		}
+		var sparseSched, fullSched *core.Schedule
+		sparseNs, err := bestOf(iters, func() error {
+			sparseSched, err = core.Greedy(sparseIn)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		fullNs, err := bestOf(iters, func() error {
+			fullSched, err = core.Greedy(fullIn)
+			return err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// --- Cross-engine identity audit. ---
+		lazySched, err := core.LazyGreedy(sparseIn)
+		if err != nil {
+			return nil, nil, err
+		}
+		parSched, err := core.ParallelGreedy(sparseIn, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		identical := assignEqual(sparseSched.Assignment(), fullSched.Assignment()) &&
+			assignEqual(sparseSched.Assignment(), lazySched.Assignment()) &&
+			assignEqual(sparseSched.Assignment(), parSched.Assignment())
+		refChecked := n <= cfg.RefMaxN
+		if refChecked {
+			refSched, err := core.ReferenceGreedy(sparseIn)
+			if err != nil {
+				return nil, nil, err
+			}
+			identical = identical && assignEqual(sparseSched.Assignment(), refSched.Assignment())
+		}
+
+		c := KernelsCase{
+			Sensors:            n,
+			Targets:            m,
+			Slots:              period.Slots(),
+			EvalScalarNsOp:     scalarNs,
+			EvalKernelNsOp:     kernelNs,
+			EvalSpeedup:        float64(scalarNs) / float64(kernelNs),
+			EvalBitIdentical:   evalKernel == evalScalar,
+			CountScalarNsOp:    countScalarNs,
+			CountKernelNsOp:    countKernelNs,
+			CountSpeedup:       float64(countScalarNs) / float64(countKernelNs),
+			CountIdentical:     countKernel == countScalar,
+			GreedyFullNsOp:     fullNs,
+			GreedySparseNsOp:   sparseNs,
+			GreedySpeedup:      float64(fullNs) / float64(sparseNs),
+			RefChecked:         refChecked,
+			SchedulesIdentical: identical,
+		}
+		res.Cases = append(res.Cases, c)
+		fullSeries.X = append(fullSeries.X, float64(n))
+		fullSeries.Y = append(fullSeries.Y, float64(fullNs)/1e6)
+		sparseSeries.X = append(sparseSeries.X, float64(n))
+		sparseSeries.Y = append(sparseSeries.Y, float64(sparseNs)/1e6)
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"n=%d m=%d: eval %.2fx (bit-identical=%v), count %.2fx (identical=%v), greedy %.2fx, schedules identical=%v (ref checked=%v)",
+			n, m, c.EvalSpeedup, c.EvalBitIdentical, c.CountSpeedup, c.CountIdentical,
+			c.GreedySpeedup, identical, refChecked))
+	}
+	fig.Series = []Series{fullSeries, sparseSeries}
+	return fig, res, nil
+}

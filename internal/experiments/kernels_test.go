@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKernelsBenchQuick is the benchmark guard behind the CI
+// bench-kernels job: it runs the kernel audit on reduced sizes and
+// asserts every identity coolbench publishes in BENCH_kernels.json —
+// speedups may fluctuate with machine load, but a false in
+// eval_bit_identical, count_identical or schedules_identical is a
+// determinism-contract violation and fails the build.
+func TestKernelsBenchQuick(t *testing.T) {
+	cfg := KernelsConfig{
+		Sizes:    []int{120, 400},
+		Iters:    1,
+		EvalReps: 4,
+		Workers:  3,
+		Seed:     7,
+	}
+	fig, res, err := KernelsBench(cfg)
+	if err != nil {
+		t.Fatalf("KernelsBench: %v", err)
+	}
+	if len(res.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if !c.EvalBitIdentical {
+			t.Errorf("n=%d: kernel Eval not bit-identical to EvalScalar", c.Sensors)
+		}
+		if !c.CountIdentical {
+			t.Errorf("n=%d: Count != CountScalar", c.Sensors)
+		}
+		if !c.SchedulesIdentical {
+			t.Errorf("n=%d: engines disagreed on the schedule", c.Sensors)
+		}
+		if !c.RefChecked {
+			t.Errorf("n=%d: ReferenceGreedy skipped at a size under RefMaxN", c.Sensors)
+		}
+		if c.EvalScalarNsOp <= 0 || c.EvalKernelNsOp <= 0 ||
+			c.CountScalarNsOp <= 0 || c.CountKernelNsOp <= 0 ||
+			c.GreedyFullNsOp <= 0 || c.GreedySparseNsOp <= 0 {
+			t.Errorf("n=%d: non-positive timing in %+v", c.Sensors, c)
+		}
+		for _, sp := range []float64{c.EvalSpeedup, c.CountSpeedup, c.GreedySpeedup} {
+			if math.IsNaN(sp) || math.IsInf(sp, 0) || sp <= 0 {
+				t.Errorf("n=%d: bad speedup %v", c.Sensors, sp)
+			}
+		}
+		if c.Slots <= 1 {
+			t.Errorf("n=%d: degenerate period %d", c.Sensors, c.Slots)
+		}
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != len(res.Cases) || len(s.Y) != len(res.Cases) {
+			t.Errorf("series %q has %d/%d points, want %d", s.Label, len(s.X), len(s.Y), len(res.Cases))
+		}
+	}
+	if len(fig.Notes) != len(res.Cases) {
+		t.Errorf("got %d notes, want %d", len(fig.Notes), len(res.Cases))
+	}
+}
+
+// TestKernelsBenchRejectsBadConfig exercises the config validation.
+func TestKernelsBenchRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]KernelsConfig{
+		"tiny-size":    {Sizes: []int{10}},
+		"zero-iters":   {Iters: -1},
+		"bad-p":        {DetectP: 1.5},
+		"removal-rho":  {Rho: 0.5},
+		"negative-rep": {EvalReps: -3},
+	} {
+		if _, _, err := KernelsBench(cfg); err == nil {
+			t.Errorf("%s: config %+v accepted", name, cfg)
+		}
+	}
+}

@@ -110,6 +110,28 @@ func TestOracleHotPathAllocations(t *testing.T) {
 				t.Errorf("Add+Remove allocated %v times per run, want ≤ 1", a)
 			}
 		})
+		t.Run(name+"/SparseRefresh", func(t *testing.T) {
+			sg, okG := o.(SparseGainRefresher)
+			sl, okL := o.(SparseLossRefresher)
+			if !okG && !okL {
+				t.Skip("oracle has no sparse refresh (dense-coupling utility)")
+			}
+			// The sparse contract forbids allocation: the dedup scratch
+			// (mark/epoch) lives in the oracle and is reused per call.
+			out := make([]float64, n)
+			if okG {
+				o.(BulkGainer).BulkGain(out)
+				if a := testing.AllocsPerRun(200, func() { sg.SparseGainRefresh(2, out) }); a != 0 {
+					t.Errorf("SparseGainRefresh allocated %v times per run, want 0", a)
+				}
+			}
+			if okL {
+				o.(BulkLosser).BulkLoss(out)
+				if a := testing.AllocsPerRun(200, func() { sl.SparseLossRefresh(2, out) }); a != 0 {
+					t.Errorf("SparseLossRefresh allocated %v times per run, want 0", a)
+				}
+			}
+		})
 		t.Run(name+"/Bulk", func(t *testing.T) {
 			out := make([]float64, n)
 			bg, okG := o.(BulkGainer)
@@ -124,6 +146,39 @@ func TestOracleHotPathAllocations(t *testing.T) {
 				t.Errorf("BulkGain/BulkLoss allocated %v times per run, want 0", a)
 			}
 		})
+	}
+}
+
+// TestDetectionEvalKernelAllocations pins the unrolled Eval kernels to
+// the scalar reference's allocation budget: the kernel restructuring
+// (mulScatter + weightedComplementSum) must not add a single
+// allocation over the retained EvalScalar loop.
+func TestDetectionEvalKernelAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, m = 200, 40
+	targets := make([]DetectionTarget, m)
+	for i := range targets {
+		probs := make(map[int]float64)
+		for v := 0; v < n; v += 1 + rng.Intn(4) {
+			probs[v] = rng.Float64()
+		}
+		if len(probs) == 0 {
+			probs[0] = 0.5
+		}
+		targets[i] = DetectionTarget{Weight: 1, Probs: probs}
+	}
+	u, err := NewDetectionUtility(n, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make([]int, 0, n/2)
+	for v := 0; v < n; v += 2 {
+		set = append(set, v)
+	}
+	scalar := testing.AllocsPerRun(100, func() { _ = u.EvalScalar(set) })
+	kernel := testing.AllocsPerRun(100, func() { _ = u.Eval(set) })
+	if kernel > scalar {
+		t.Errorf("kernel Eval allocates %v/run, scalar reference %v/run", kernel, scalar)
 	}
 }
 

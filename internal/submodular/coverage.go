@@ -150,6 +150,7 @@ func (u *CoverageUtility) Oracle() *CoverageOracle {
 		u:      u,
 		in:     bitset.New(u.n),
 		counts: make([]int32, len(u.values)),
+		mark:   make([]uint32, u.n),
 	}
 }
 
@@ -170,14 +171,20 @@ type CoverageOracle struct {
 	in     bitset.Bitset
 	counts []int32
 	value  float64
+	// mark/epoch are the sparse-refresh dedup scratch (see
+	// DetectionOracle); pure scratch, never copied by CopyStateFrom.
+	mark  []uint32
+	epoch uint32
 }
 
 var (
-	_ RemovalOracle      = (*CoverageOracle)(nil)
-	_ BulkGainer         = (*CoverageOracle)(nil)
-	_ BulkLosser         = (*CoverageOracle)(nil)
-	_ StateCopier        = (*CoverageOracle)(nil)
-	_ ConcurrentReadSafe = (*CoverageOracle)(nil)
+	_ RemovalOracle       = (*CoverageOracle)(nil)
+	_ BulkGainer          = (*CoverageOracle)(nil)
+	_ BulkLosser          = (*CoverageOracle)(nil)
+	_ StateCopier         = (*CoverageOracle)(nil)
+	_ ConcurrentReadSafe  = (*CoverageOracle)(nil)
+	_ SparseGainRefresher = (*CoverageOracle)(nil)
+	_ SparseLossRefresher = (*CoverageOracle)(nil)
 )
 
 // Value implements Oracle.
@@ -221,11 +228,72 @@ func (o *CoverageOracle) BulkGain(out []float64) {
 			continue
 		}
 		sensors, _ := u.itemSensors.Row(item)
-		for _, v := range sensors {
-			out[v] += val
-		}
+		addScatter(out, sensors, val)
 	}
 	o.in.ForEach(func(v int) { out[v] = 0 })
+}
+
+// bumpEpoch advances the sparse-refresh stamp with wraparound reset
+// (see DetectionOracle.bumpEpoch).
+func (o *CoverageOracle) bumpEpoch() {
+	o.epoch++
+	if o.epoch == 0 {
+		for i := range o.mark {
+			o.mark[i] = 0
+		}
+		o.epoch = 1
+	}
+}
+
+// SparseGainRefresh implements SparseGainRefresher: it repairs a gain
+// column after the most recent Add(changed) / Remove(changed) by
+// recomputing only the sensors that share an item with changed. A
+// sensor sharing no item with changed sums its gain over coverage
+// counters the mutation did not touch, so its entry is exact by
+// definition; touched sensors are recomputed via Gain, bit-identical
+// to a full BulkGain sweep by the Bulk contract.
+func (o *CoverageOracle) SparseGainRefresh(changed int, out []float64) {
+	u := o.u
+	checkElem(changed, u.n)
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: SparseGainRefresh buffer %d != ground size %d", len(out), u.n))
+	}
+	o.bumpEpoch()
+	items, _ := u.sensorItems.Row(changed)
+	for _, item := range items {
+		sensors, _ := u.itemSensors.Row(int(item))
+		for _, v := range sensors {
+			if o.mark[v] == o.epoch {
+				continue
+			}
+			o.mark[v] = o.epoch
+			out[v] = o.Gain(int(v))
+		}
+	}
+	out[changed] = o.Gain(changed)
+}
+
+// SparseLossRefresh implements SparseLossRefresher: the removal-side
+// dual of SparseGainRefresh.
+func (o *CoverageOracle) SparseLossRefresh(changed int, out []float64) {
+	u := o.u
+	checkElem(changed, u.n)
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: SparseLossRefresh buffer %d != ground size %d", len(out), u.n))
+	}
+	o.bumpEpoch()
+	items, _ := u.sensorItems.Row(changed)
+	for _, item := range items {
+		sensors, _ := u.itemSensors.Row(int(item))
+		for _, v := range sensors {
+			if o.mark[v] == o.epoch {
+				continue
+			}
+			o.mark[v] = o.epoch
+			out[v] = o.Loss(int(v))
+		}
+	}
+	out[changed] = o.Loss(changed)
 }
 
 // Add implements Oracle.
@@ -306,13 +374,15 @@ func (o *CoverageOracle) Remove(v int) {
 // concurrently (absent a concurrent Add/Remove).
 func (o *CoverageOracle) ConcurrentReadSafe() bool { return true }
 
-// Clone implements Oracle.
+// Clone implements Oracle. The sparse-refresh scratch is per-oracle
+// and starts fresh in the clone.
 func (o *CoverageOracle) Clone() Oracle {
 	return &CoverageOracle{
 		u:      o.u,
 		in:     o.in.Clone(),
 		counts: append([]int32(nil), o.counts...),
 		value:  o.value,
+		mark:   make([]uint32, len(o.mark)),
 	}
 }
 

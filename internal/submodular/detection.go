@@ -116,8 +116,34 @@ func (u *DetectionUtility) TotalWeight() float64 {
 	return sum
 }
 
-// Eval implements Function.
+// Eval implements Function. The per-target survival update and the
+// weighted complement reduction run on the unrolled scatter kernels of
+// kernels.go; EvalScalar retains the plain loops as the bit-exact
+// reference both are tested against.
 func (u *DetectionUtility) Eval(set []int) float64 {
+	seen := bitset.New(u.n)
+	surv := make([]float64, len(u.weights))
+	for i := range surv {
+		surv[i] = 1
+	}
+	for _, v := range set {
+		checkElem(v, u.n)
+		if seen.Contains(v) {
+			continue
+		}
+		seen.Add(v)
+		ts, qs := u.sensorTargets.Row(v)
+		mulScatter(surv, ts, qs)
+	}
+	return weightedComplementSum(u.weights, surv)
+}
+
+// EvalScalar is the pre-kernel scalar evaluation loop, retained
+// verbatim as the differential reference for Eval: the kernel tests
+// and the `coolbench -fig kernels` audit require
+// Eval(set) == EvalScalar(set) bit for bit on every input. New code
+// should call Eval.
+func (u *DetectionUtility) EvalScalar(set []int) float64 {
 	seen := bitset.New(u.n)
 	surv := make([]float64, len(u.weights))
 	for i := range surv {
@@ -172,6 +198,7 @@ func (u *DetectionUtility) Oracle() *DetectionOracle {
 		surv:  make([]float64, m),
 		eff:   make([]float64, m),
 		zeros: make([]int32, m),
+		mark:  make([]uint32, u.n),
 	}
 	for i := range o.surv {
 		o.surv[i] = 1
@@ -193,14 +220,22 @@ type DetectionOracle struct {
 	eff   []float64 // effective survival: 0 if zeros > 0, else surv
 	zeros []int32   // count of members with q == 0 (p == 1)
 	value float64
+	// mark/epoch are the sparse-refresh dedup scratch: mark[v] == epoch
+	// means sensor v was already recomputed during the current
+	// SparseGainRefresh/SparseLossRefresh sweep. Pure scratch — never
+	// part of the set state, never copied by CopyStateFrom.
+	mark  []uint32
+	epoch uint32
 }
 
 var (
-	_ RemovalOracle     = (*DetectionOracle)(nil)
-	_ BulkGainer        = (*DetectionOracle)(nil)
-	_ BulkLosser        = (*DetectionOracle)(nil)
-	_ StateCopier       = (*DetectionOracle)(nil)
-	_ ConcurrentReadSafe = (*DetectionOracle)(nil)
+	_ RemovalOracle       = (*DetectionOracle)(nil)
+	_ BulkGainer          = (*DetectionOracle)(nil)
+	_ BulkLosser          = (*DetectionOracle)(nil)
+	_ StateCopier         = (*DetectionOracle)(nil)
+	_ ConcurrentReadSafe  = (*DetectionOracle)(nil)
+	_ SparseGainRefresher = (*DetectionOracle)(nil)
+	_ SparseLossRefresher = (*DetectionOracle)(nil)
 )
 
 // refreshEff re-derives eff[t] after a surv/zeros update.
@@ -256,12 +291,84 @@ func (o *DetectionOracle) BulkGain(out []float64) {
 		}
 		w := u.weights[t]
 		vs, qs := u.targetSensors.Row(t)
-		qs = qs[:len(vs)] // hoist the slice-length relation for bounds-check elimination
-		for k, v := range vs {
-			out[v] += w * (e - e*qs[k])
-		}
+		gainScatter(out, vs, qs, w, e)
 	}
 	o.in.ForEach(func(v int) { out[v] = 0 })
+}
+
+// bumpEpoch advances the sparse-refresh stamp, clearing the mark array
+// on the (once per 2³² sweeps) wraparound so stale stamps can never
+// alias the fresh epoch.
+func (o *DetectionOracle) bumpEpoch() {
+	o.epoch++
+	if o.epoch == 0 {
+		for i := range o.mark {
+			o.mark[i] = 0
+		}
+		o.epoch = 1
+	}
+}
+
+// SparseGainRefresh implements SparseGainRefresher: given out holding
+// per-sensor gains that were exact immediately before the most recent
+// Add(changed) / Remove(changed) on this oracle, it rewrites out so
+// every entry is exact for the current state, touching only the CSR
+// rows of the targets sensor changed covers. Exactness of the
+// untouched entries is definitional: a sensor sharing no target with
+// changed has a gain summing over per-target survivals none of which
+// the mutation altered, so a fresh query would return the same floats.
+// Touched sensors are recomputed via Gain, which the Bulk contract
+// keeps bit-identical to a full BulkGain sweep.
+func (o *DetectionOracle) SparseGainRefresh(changed int, out []float64) {
+	u := o.u
+	checkElem(changed, u.n)
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: SparseGainRefresh buffer %d != ground size %d", len(out), u.n))
+	}
+	o.bumpEpoch()
+	ts, _ := u.sensorTargets.Row(changed)
+	for _, t := range ts {
+		vs, _ := u.targetSensors.Row(int(t))
+		for _, v := range vs {
+			if o.mark[v] == o.epoch {
+				continue
+			}
+			o.mark[v] = o.epoch
+			out[v] = o.Gain(int(v))
+		}
+	}
+	// changed itself covers exactly the swept targets, so it was
+	// recomputed above whenever it has any; a degree-0 sensor's gain is
+	// identically 0 either way. The explicit write keeps the
+	// member-entries-are-zero invariant robust without a branch.
+	out[changed] = o.Gain(changed)
+}
+
+// SparseLossRefresh implements SparseLossRefresher: the removal-side
+// dual of SparseGainRefresh, refreshing per-sensor losses after the
+// most recent Add(changed) / Remove(changed) by sweeping only the
+// affected targets' CSR rows. Untouched entries are exact by the same
+// definitional argument; touched entries are recomputed via Loss,
+// bit-identical to a full BulkLoss sweep.
+func (o *DetectionOracle) SparseLossRefresh(changed int, out []float64) {
+	u := o.u
+	checkElem(changed, u.n)
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: SparseLossRefresh buffer %d != ground size %d", len(out), u.n))
+	}
+	o.bumpEpoch()
+	ts, _ := u.sensorTargets.Row(changed)
+	for _, t := range ts {
+		vs, _ := u.targetSensors.Row(int(t))
+		for _, v := range vs {
+			if o.mark[v] == o.epoch {
+				continue
+			}
+			o.mark[v] = o.epoch
+			out[v] = o.Loss(int(v))
+		}
+	}
+	out[changed] = o.Loss(changed)
 }
 
 // Add implements Oracle.
@@ -364,7 +471,8 @@ func (o *DetectionOracle) Remove(v int) {
 // goroutines concurrently (absent a concurrent Add/Remove).
 func (o *DetectionOracle) ConcurrentReadSafe() bool { return true }
 
-// Clone implements Oracle.
+// Clone implements Oracle. The sparse-refresh scratch is per-oracle
+// and starts fresh in the clone.
 func (o *DetectionOracle) Clone() Oracle {
 	return &DetectionOracle{
 		u:     o.u,
@@ -373,6 +481,7 @@ func (o *DetectionOracle) Clone() Oracle {
 		eff:   append([]float64(nil), o.eff...),
 		zeros: append([]int32(nil), o.zeros...),
 		value: o.value,
+		mark:  make([]uint32, len(o.mark)),
 	}
 }
 

@@ -83,20 +83,21 @@ func (o *LogSumOracle) Gain(v int) float64 {
 }
 
 // BulkGain implements BulkGainer; every element's gain is independent,
-// so the bulk form is a single contiguous sweep over sizes.
+// so the bulk form is a single contiguous branchless sweep over sizes
+// followed by one word-driven pass that zeroes the members — the same
+// floats per element as the branchy per-element loop (each entry is a
+// plain store, no accumulation), with the per-element membership test
+// and its bounds check hoisted out of the hot loop.
 func (o *LogSumOracle) BulkGain(out []float64) {
 	n := len(o.u.sizes)
 	if len(out) != n {
 		panic(fmt.Sprintf("submodular: BulkGain buffer %d != ground size %d", len(out), n))
 	}
 	base := math.Log1p(o.sum)
-	for v := 0; v < n; v++ {
-		if o.in.Contains(v) {
-			out[v] = 0
-		} else {
-			out[v] = math.Log1p(o.sum+o.u.sizes[v]) - base
-		}
+	for v, size := range o.u.sizes {
+		out[v] = math.Log1p(o.sum+size) - base
 	}
+	o.in.ForEach(func(v int) { out[v] = 0 })
 }
 
 // Add implements Oracle.
@@ -118,20 +119,21 @@ func (o *LogSumOracle) Loss(v int) float64 {
 	return math.Log1p(o.sum) - math.Log1p(o.sum-o.u.sizes[v])
 }
 
-// BulkLoss implements BulkLosser.
+// BulkLoss implements BulkLosser: one zeroing sweep, then a
+// word-driven pass over the members only — the same floats per element
+// as the branchy per-element loop (each entry is a plain store).
 func (o *LogSumOracle) BulkLoss(out []float64) {
 	n := len(o.u.sizes)
 	if len(out) != n {
 		panic(fmt.Sprintf("submodular: BulkLoss buffer %d != ground size %d", len(out), n))
 	}
-	base := math.Log1p(o.sum)
-	for v := 0; v < n; v++ {
-		if o.in.Contains(v) {
-			out[v] = base - math.Log1p(o.sum-o.u.sizes[v])
-		} else {
-			out[v] = 0
-		}
+	for i := range out {
+		out[i] = 0
 	}
+	base := math.Log1p(o.sum)
+	o.in.ForEach(func(v int) {
+		out[v] = base - math.Log1p(o.sum-o.u.sizes[v])
+	})
 }
 
 // Remove implements RemovalOracle.

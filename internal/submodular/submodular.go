@@ -107,6 +107,39 @@ type BulkLosser interface {
 	BulkLoss(out []float64)
 }
 
+// SparseGainRefresher is implemented by oracles that can repair a
+// per-sensor gain column incrementally after a single mutation,
+// touching only the entries the mutation could have changed.
+//
+// Contract: let out hold, for every ground-set element u, a value
+// bit-identical to Gain(u) under the oracle state immediately before
+// the most recent Add(changed) or Remove(changed) (equivalently, a
+// BulkGain snapshot of that state). SparseGainRefresh(changed, out)
+// must rewrite out in place so that out[u] is bit-identical to Gain(u)
+// under the *current* state for every u — while it may read or write
+// only entries whose gain the mutation could have affected (for the
+// incidence-backed oracles: sensors sharing at least one target/item
+// with changed, plus changed itself). Elements outside that set are
+// exact by definition — their marginals sum over per-target state the
+// mutation did not touch — which is what makes the sparse sweep an
+// exactness-preserving replacement for a full column refresh, not an
+// approximation.
+//
+// SparseGainRefresh may use internal scratch (it is NOT a concurrent
+// read in the ConcurrentReadSafe sense) and must not allocate. The
+// sequential greedy engine uses it to refresh the dirty slot column
+// after each step in O(affected) instead of O(n + edges).
+type SparseGainRefresher interface {
+	SparseGainRefresh(changed int, out []float64)
+}
+
+// SparseLossRefresher is the removal-side dual of SparseGainRefresher:
+// the same contract with Loss/BulkLoss in place of Gain/BulkGain
+// (member entries carry losses, non-members 0).
+type SparseLossRefresher interface {
+	SparseLossRefresh(changed int, out []float64)
+}
+
 // StateCopier is implemented by oracles that can adopt another
 // oracle's current set without allocating. CopyStateFrom overwrites
 // the receiver's state with src's and reports whether it succeeded;
