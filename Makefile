@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard figures examples fuzz clean
 
 all: build vet test
 
@@ -67,6 +67,15 @@ bench-kernels:
 	$(GO) test -run xxx -bench 'Kernel' -benchmem -benchtime 100x ./internal/bitset/ ./internal/submodular/
 	$(GO) run ./cmd/coolbench -fig kernels -quick
 
+# Sharded-planner smoke pass: vet, then the bench's own verdict gate
+# (TestShardBenchQuick asserts k=1 bit identity, the utility-gap bound,
+# and radio trace identity on a real decomposition), then the quick
+# shard sweep that writes BENCH_shard.json.
+bench-shard:
+	$(GO) vet ./...
+	$(GO) test -run TestShardBenchQuick -v ./internal/experiments/
+	$(GO) run ./cmd/coolbench -fig shard -quick
+
 # Regenerate every paper figure and ablation into results/.
 figures:
 	$(GO) run ./cmd/coolbench -fig all -out results/
@@ -84,6 +93,7 @@ fuzz:
 	$(GO) test ./internal/geometry/grid/ -fuzz FuzzGridCandidates -fuzztime 30s
 	$(GO) test ./internal/netsim/ -fuzz FuzzNetsimDiff -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzEngineEquivalence -fuzztime 30s
+	$(GO) test ./internal/shard/ -fuzz FuzzShardEquivalence -fuzztime 30s
 
 clean:
 	rm -rf results/ testdata/fuzz

@@ -39,6 +39,7 @@ func run(args []string, out io.Writer) error {
 		rho       = fs.Float64("rho", 3, "charging ratio Tr/Td")
 		days      = fs.Int("days", 30, "working days (the paper ran 30); each day is 48 slots of 15 min")
 		policy    = fs.String("policy", "greedy", "policy: greedy|lazy|parallel|all-ready|random|round-robin|first-slot|sorted-stride")
+		shards    = fs.Int("shards", 0, "plan with the sharded decomposition over this many geometric strips (0 disables; greedy/lazy policies only)")
 		charging  = fs.String("charging", "deterministic", "charging model: deterministic|random")
 		eventRate = fs.Float64("event-rate", 1, "random charging: Poisson event rate per slot")
 		eventDur  = fs.Float64("event-duration", 1, "random charging: mean event duration in slots")
@@ -99,6 +100,23 @@ func run(args []string, out io.Writer) error {
 		}
 		pol = cool.SchedulePolicy{Schedule: &sched}
 		*policy = "file:" + *schedFile
+	}
+	if pol == nil && *shards > 0 {
+		if *policy != "greedy" && *policy != "lazy" {
+			return fmt.Errorf("-shards requires the greedy or lazy policy, not %q", *policy)
+		}
+		res, err := cool.ShardedDetectionPlan(net, cool.FixedProb(*p), period, cool.ShardedOptions{
+			Shards:  *shards,
+			Workers: *workers,
+			Lazy:    *policy == "lazy",
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "sharded plan: %d/%d shards, %d halo sensors, %d border moves in %d rounds, utility %.4f (sweep gain %.4f)\n",
+			res.EffectiveShards, res.RequestedShards, res.Halo, res.Moves, res.Rounds,
+			res.Utility, res.Utility-res.UtilityBefore)
+		pol = cool.SchedulePolicy{Schedule: res.Schedule}
 	}
 	if pol == nil {
 		switch *policy {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"cool/internal/submodular"
+)
+
+// SlotOracles materializes the per-slot oracle state implied by an
+// assignment vector, without going through a Schedule: oracles[t]
+// represents the active set of slot t under the given mode semantics
+// (assign[v] is v's single active slot in placement mode, its single
+// passive slot in removal mode; -1 means never active / always active
+// respectively). Sensors are folded in ascending ID order, so the
+// floating-point state of each oracle is a deterministic function of
+// the assignment.
+//
+// The sharded planner's border-correction sweep uses this to rebuild
+// the merged global per-slot state once, then repairs it incrementally
+// with Add/Remove as halo sensors are re-argmaxed.
+func SlotOracles(in Instance, mode Mode, assign []int) ([]submodular.RemovalOracle, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(assign) != in.N {
+		return nil, fmt.Errorf("core: assignment covers %d sensors, instance has %d", len(assign), in.N)
+	}
+	T := in.Period.Slots()
+	for v, t := range assign {
+		if t < -1 || t >= T {
+			return nil, fmt.Errorf("core: sensor %d assigned to slot %d outside [0,%d)", v, t, T)
+		}
+	}
+	oracles := make([]submodular.RemovalOracle, T)
+	switch mode {
+	case ModePlacement:
+		for t := range oracles {
+			oracles[t] = in.Factory()
+		}
+		for v, t := range assign {
+			if t >= 0 {
+				oracles[t].Add(v)
+			}
+		}
+	case ModeRemoval:
+		for t := range oracles {
+			o := in.Factory()
+			for v := 0; v < in.N; v++ {
+				o.Add(v)
+			}
+			oracles[t] = o
+		}
+		for v, t := range assign {
+			if t >= 0 {
+				oracles[t].Remove(v)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: invalid mode %v", mode)
+	}
+	return oracles, nil
+}

@@ -1,0 +1,88 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"cool/internal/stats"
+)
+
+// TestColumnAccessors pins the column-geometry contract the shard
+// partitioner builds on: ColumnOf is consistent with the bucket
+// assignment, ColumnLeft boundaries are monotone, and every anchor lies
+// inside [ColumnLeft(c), ColumnLeft(c+1)] of its own column.
+func TestColumnAccessors(t *testing.T) {
+	rng := stats.NewRNG(41)
+	items := make([]Item, 300)
+	for i := range items {
+		items[i] = Item{
+			Pos:   Point{X: rng.UniformRange(-50, 950), Y: rng.UniformRange(0, 400)},
+			Reach: rng.UniformRange(1, 15),
+		}
+	}
+	ix := Build(items)
+	cols := ix.Columns()
+	if cols < 1 {
+		t.Fatalf("Columns() = %d, want >= 1", cols)
+	}
+	for c := 0; c < cols; c++ {
+		if !(ix.ColumnLeft(c) < ix.ColumnLeft(c+1)) {
+			t.Fatalf("boundaries not increasing at column %d: %v >= %v",
+				c, ix.ColumnLeft(c), ix.ColumnLeft(c+1))
+		}
+	}
+	for i, it := range items {
+		c := ix.ColumnOf(it.Pos.X)
+		if c < 0 || c >= cols {
+			t.Fatalf("item %d: ColumnOf = %d outside [0,%d)", i, c, cols)
+		}
+		if it.Pos.X < ix.ColumnLeft(c) || it.Pos.X > ix.ColumnLeft(c+1) {
+			t.Fatalf("item %d at x=%v outside its column %d [%v, %v]",
+				i, it.Pos.X, c, ix.ColumnLeft(c), ix.ColumnLeft(c+1))
+		}
+	}
+	// Boundary coordinates map back into an adjacent-or-same column:
+	// ColumnOf(ColumnLeft(c)) is c or c-1 up to float rounding, never
+	// further away.
+	for c := 1; c < cols; c++ {
+		got := ix.ColumnOf(ix.ColumnLeft(c))
+		if got != c && got != c-1 {
+			t.Fatalf("ColumnOf(ColumnLeft(%d)) = %d, want %d or %d", c, got, c, c-1)
+		}
+	}
+}
+
+// TestColumnAccessorsDegenerate covers the single-column axis (all
+// anchors share one x) and non-finite queries.
+func TestColumnAccessorsDegenerate(t *testing.T) {
+	items := []Item{
+		{Pos: Point{X: 5, Y: 0}, Reach: 1},
+		{Pos: Point{X: 5, Y: 10}, Reach: 1},
+		{Pos: Point{X: 5, Y: 20}, Reach: 1},
+	}
+	ix := Build(items)
+	if got := ix.Columns(); got != 1 {
+		t.Fatalf("degenerate axis Columns() = %d, want 1", got)
+	}
+	if got := ix.ColumnOf(123.0); got != 0 {
+		t.Fatalf("degenerate ColumnOf = %d, want 0", got)
+	}
+	if got := ix.ColumnLeft(0); got != 5 {
+		t.Fatalf("degenerate ColumnLeft(0) = %v, want origin 5", got)
+	}
+	if got := ix.ColumnLeft(1); got != 5 {
+		t.Fatalf("degenerate ColumnLeft(1) = %v, want origin 5", got)
+	}
+
+	spread := []Item{
+		{Pos: Point{X: 0, Y: 0}, Reach: 1},
+		{Pos: Point{X: 100, Y: 0}, Reach: 1},
+	}
+	ix = Build(spread)
+	if got := ix.ColumnOf(math.NaN()); got != 0 {
+		t.Fatalf("ColumnOf(NaN) = %d, want 0", got)
+	}
+	if got := ix.ColumnOf(math.Inf(1)); got != ix.Columns()-1 {
+		t.Fatalf("ColumnOf(+Inf) = %d, want last column %d", got, ix.Columns()-1)
+	}
+}

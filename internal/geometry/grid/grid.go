@@ -210,6 +210,31 @@ func (ix *Index) clampCell(a float64, cells int) int {
 // Len returns the number of indexed items.
 func (ix *Index) Len() int { return ix.n }
 
+// Columns returns the number of cell columns along the x axis. The
+// column boundaries are the natural cut lines for geometric sharding:
+// the cell side is at least the maximum item reach, so an item whose
+// anchor is more than one column away from a cut can never have a
+// footprint crossing it.
+func (ix *Index) Columns() int { return ix.cols }
+
+// ColumnOf returns the cell column an x coordinate falls in, clamped to
+// [0, Columns()). Non-finite coordinates clamp to column 0, mirroring
+// the defensive NaN handling of the bucket assignment.
+func (ix *Index) ColumnOf(x float64) int {
+	return ix.clampCell((x-ix.ox)*ix.invX, ix.cols)
+}
+
+// ColumnLeft returns the x coordinate of column c's left boundary
+// (c may equal Columns(), giving the right edge of the last column).
+// On a degenerate single-cell axis every boundary collapses to the
+// origin.
+func (ix *Index) ColumnLeft(c int) float64 {
+	if ix.invX == 0 {
+		return ix.ox
+	}
+	return ix.ox + float64(c)/ix.invX
+}
+
 // Dims returns the cell-grid dimensions (cols, rows).
 func (ix *Index) Dims() (int, int) { return ix.cols, ix.rows }
 

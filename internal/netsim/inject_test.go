@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"testing"
+
+	"cool/internal/geometry"
+	"cool/internal/stats"
+)
+
+// injectFleet deploys n nodes deterministically on a fieldSide square.
+func injectFleet(n int, fieldSide, radio float64, seed uint64) []NodeSpec {
+	rng := stats.NewRNG(seed)
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{
+			ID: NodeID(i),
+			Pos: geometry.Point{
+				X: rng.Float64() * fieldSide,
+				Y: rng.Float64() * fieldSide,
+			},
+			Radio: radio,
+		}
+	}
+	return specs
+}
+
+// TestBatchFromMatchesBatch holds BatchFrom to Batch's exact delivery
+// semantics: replaying node v's broadcast into a twin network that
+// contains every node except v delivers exactly the packets v's local
+// Batch delivers, with identical counters (lossless fixed-delay medium,
+// so RNG streams cannot diverge the comparison).
+func TestBatchFromMatchesBatch(t *testing.T) {
+	const n = 60
+	specs := injectFleet(n, 200, 45, 7)
+	for _, src := range []int{0, 17, n - 1} {
+		full, err := NewNetwork(WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := full.AddNodes(specs); err != nil {
+			t.Fatal(err)
+		}
+		rest, err := NewNetwork(WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		others := make([]NodeSpec, 0, n-1)
+		for _, s := range specs {
+			if s.ID != NodeID(src) {
+				others = append(others, s)
+			}
+		}
+		if err := rest.AddNodes(others); err != nil {
+			t.Fatal(err)
+		}
+		rest.ReserveReach(specs[src].Radio)
+
+		sent, err := full.Batch(NodeID(src), "hello")
+		if err != nil {
+			t.Fatal(err)
+		}
+		injected := rest.BatchFrom(NodeID(src), specs[src].Pos, specs[src].Radio, "hello")
+		if injected != sent {
+			t.Fatalf("src %d: BatchFrom enqueued %d, Batch %d", src, injected, sent)
+		}
+		full.Step()
+		rest.Step()
+		var fb, rb []Message
+		for _, s := range others {
+			if fb, err = full.ReceiveInto(s.ID, fb[:0]); err != nil {
+				t.Fatal(err)
+			}
+			if rb, err = rest.ReceiveInto(s.ID, rb[:0]); err != nil {
+				t.Fatal(err)
+			}
+			if len(fb) != len(rb) {
+				t.Fatalf("src %d: node %d got %d messages, want %d", src, s.ID, len(rb), len(fb))
+			}
+			for k := range fb {
+				if fb[k] != rb[k] {
+					t.Fatalf("src %d node %d msg %d: %+v != %+v", src, s.ID, k, rb[k], fb[k])
+				}
+			}
+		}
+		fs, fd, fx := full.Stats()
+		rs, rd, rx := rest.Stats()
+		if fs != rs || fd != rd || fx != rx {
+			t.Fatalf("src %d: stats (%d,%d,%d) != (%d,%d,%d)", src, rs, rd, rx, fs, fd, fx)
+		}
+	}
+}
+
+// TestBatchFromSkipsDownAndSelf checks the receiver filters: down nodes
+// and a registered node carrying the transmitter's own ID receive
+// nothing.
+func TestBatchFromSkipsDownAndSelf(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []NodeSpec{
+		{ID: 1, Pos: geometry.Point{X: 0, Y: 0}, Radio: 10},
+		{ID: 2, Pos: geometry.Point{X: 1, Y: 0}, Radio: 10},
+		{ID: 3, Pos: geometry.Point{X: 2, Y: 0}, Radio: 10},
+	}
+	if err := net.AddNodes(specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetDown(3, true); err != nil {
+		t.Fatal(err)
+	}
+	// Transmitter ID 2 is also registered locally: only node 1 receives.
+	if got := net.BatchFrom(2, geometry.Point{X: 0.5, Y: 0}, 10, "x"); got != 1 {
+		t.Fatalf("enqueued %d packets, want 1", got)
+	}
+	net.Step()
+	msgs, err := net.Receive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].From != 2 {
+		t.Fatalf("node 1 inbox %+v, want one message from 2", msgs)
+	}
+	for _, id := range []NodeID{2, 3} {
+		msgs, err := net.Receive(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 0 {
+			t.Fatalf("node %d inbox %+v, want empty", id, msgs)
+		}
+	}
+}
+
+// TestBatchFromLinearFallback compares the grid path against the
+// linear-scan fallback (radio beyond the index reach) — both must find
+// the same receivers.
+func TestBatchFromLinearFallback(t *testing.T) {
+	specs := injectFleet(40, 100, 5, 11)
+	pos := geometry.Point{X: 50, Y: 50}
+	const radio = 60 // beyond every node's 5-unit range → linear path
+
+	linear, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := linear.AddNodes(specs); err != nil {
+		t.Fatal(err)
+	}
+	gridded, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gridded.AddNodes(specs); err != nil {
+		t.Fatal(err)
+	}
+	gridded.ReserveReach(radio) // forces the grid path for the same query
+
+	nl := linear.BatchFrom(999, pos, radio, "y")
+	ng := gridded.BatchFrom(999, pos, radio, "y")
+	if nl != ng {
+		t.Fatalf("linear fallback enqueued %d, grid path %d", nl, ng)
+	}
+	linear.Step()
+	gridded.Step()
+	for _, s := range specs {
+		a, err := linear.Receive(s.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gridded.Receive(s.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("node %d: linear %d msgs, grid %d", s.ID, len(a), len(b))
+		}
+	}
+}
+
+// TestBatchFromSteadyStateAllocs pins the injection path at zero
+// allocations once scratch buffers and ring buckets reached capacity.
+func TestBatchFromSteadyStateAllocs(t *testing.T) {
+	specs := injectFleet(80, 100, 25, 13)
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNodes(specs); err != nil {
+		t.Fatal(err)
+	}
+	net.ReserveReach(30)
+	pos := geometry.Point{X: 50, Y: 50}
+	payload := any("p")
+	var buf []Message
+	round := func() {
+		net.BatchFrom(1000, pos, 30, payload)
+		net.Step()
+		for _, s := range specs {
+			buf, _ = net.ReceiveInto(s.ID, buf[:0])
+		}
+	}
+	round() // warmup: grid build, scratch and ring capacity
+	if allocs := testing.AllocsPerRun(50, round); allocs != 0 {
+		t.Fatalf("BatchFrom round allocates %v per run, want 0", allocs)
+	}
+}

@@ -429,6 +429,66 @@ func (n *Network) Batch(from NodeID, payload any) (int, error) {
 	return len(neigh), nil
 }
 
+// ReserveReach widens the spatial index's query reach to at least r,
+// as if a node with radio range r were registered. Sharded simulations
+// use it so that BatchFrom injections from foreign transmitters — whose
+// radio range may exceed every local node's — stay on the O(local)
+// grid-query path instead of the linear fallback. Idempotent; a no-op
+// when r does not exceed the current maximum radio range.
+func (n *Network) ReserveReach(r float64) {
+	if r > n.maxRadio {
+		n.maxRadio = r
+		n.index = nil
+	}
+}
+
+// BatchFrom injects a broadcast from an external transmitter that is
+// not registered in this network: every up node within radio of pos
+// receives the payload with the same loss/delay treatment as a local
+// Batch, attributed to the given source ID. It returns the number of
+// packets enqueued. Registered nodes with the transmitter's own ID are
+// skipped (matching Batch's self-exclusion), so replaying a node's
+// broadcast into a partition that also holds it cannot double-deliver.
+//
+// The sharded radio core uses BatchFrom for halo exchange: a border
+// node's broadcast is executed locally in its home partition via Batch
+// and replayed into each adjacent partition via BatchFrom, which keeps
+// the summed packet counters exactly equal to a global network's —
+// every receiver is registered in exactly one partition. When radio
+// exceeds the index reach (see ReserveReach) the query degrades to a
+// linear scan over all nodes; with a reserved reach it stays O(local
+// density). In steady state the call performs no allocations.
+func (n *Network) BatchFrom(from NodeID, pos geometry.Point, radio float64, payload any) int {
+	out := n.neighBuf[:0]
+	if radio > 0 && radio <= n.maxRadio {
+		n.ensureIndex()
+		n.gridBuf = n.index.CandidatesInto(n.gridBuf, grid.Point(pos))
+		for _, k := range n.gridBuf {
+			di := n.byID[k]
+			if n.down[di] || n.ids[di] == from {
+				continue
+			}
+			if pos.Dist(n.pos[di]) <= radio {
+				out = append(out, di)
+			}
+		}
+	} else if radio > 0 {
+		for _, di := range n.byID {
+			if n.down[di] || n.ids[di] == from {
+				continue
+			}
+			if pos.Dist(n.pos[di]) <= radio {
+				out = append(out, di)
+			}
+		}
+	}
+	n.neighBuf = out
+	for _, di := range out {
+		n.enqueue(Message{From: from, To: n.ids[di], Payload: payload, SentAt: n.now})
+	}
+	return len(out)
+}
+
 // Broadcast transmits a payload to every radio neighbor of from. It is
 // a thin wrapper over Batch.
 func (n *Network) Broadcast(from NodeID, payload any) error {

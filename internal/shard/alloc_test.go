@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"testing"
+
+	"cool/internal/core"
+	"cool/internal/netsim"
+)
+
+// TestSweepOnceSteadyStateAllocs pins the border-correction round at
+// zero allocations: Gain/Loss scans and the Add/Remove repairs on the
+// CSR oracles never touch the heap, so the sweep's cost is pure
+// compute no matter how many rounds the budget allows.
+func TestSweepOnceSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModePlacement, core.ModeRemoval} {
+		period := placementPeriod()
+		if mode == core.ModeRemoval {
+			period = removalPeriod()
+		}
+		d := buildTestProblem(t, 31, 400, 200, 500, 120, 15, period, true)
+		pt := newPartition(d.p, 4)
+		if pt.shards() < 2 {
+			t.Fatal("geometry degenerated")
+		}
+		res, err := Plan(d.p, Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign := res.Schedule.Assignment()
+		oracles, err := core.SlotOracles(d.p.Global, mode, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up once (the state is already a fixed point, so the round
+		// exercises the full scan with zero moves).
+		sweepOnce(oracles, mode, assign, pt.haloList)
+		allocs := testing.AllocsPerRun(20, func() {
+			sweepOnce(oracles, mode, assign, pt.haloList)
+		})
+		if allocs != 0 {
+			t.Errorf("%v sweep round allocates %.1f times, want 0", mode, allocs)
+		}
+	}
+}
+
+// TestNetStepSteadyStateAllocs pins the per-tick boundary exchange at
+// zero allocations with sequential workers: the cross-border queues,
+// the netsim scratch buffers, and the ring buckets all retain capacity.
+func TestNetStepSteadyStateAllocs(t *testing.T) {
+	specs := netFleet(77, 300, 600, 80, 35)
+	n, err := NewNet(specs, NetOptions{Shards: 4, Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.EffectiveShards() < 2 {
+		t.Fatal("decomposition collapsed")
+	}
+	payload := any("beacon")
+	var buf []netsim.Message
+	round := func() {
+		for i := 0; i < len(specs); i += 5 {
+			if _, err := n.Batch(specs[i].ID, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Step()
+		for _, s := range specs {
+			buf, _ = n.ReceiveInto(s.ID, buf)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		round() // warm caches: queues, ring buckets, inboxes, grid scratch
+	}
+	if cap(buf) == 0 {
+		buf = make([]netsim.Message, 0, 256)
+	}
+	allocs := testing.AllocsPerRun(30, round)
+	if allocs != 0 {
+		t.Errorf("sharded net round allocates %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"cool/internal/core"
+	"cool/internal/submodular"
+)
+
+// correctionSweep repairs the cross-border utility the per-shard plans
+// could not see: it materializes the merged global per-slot oracle
+// state once (core.SlotOracles) and then re-argmaxes every halo sensor
+// against it, round after round, until a round applies no move or the
+// round budget runs out. Interior sensors are never touched — their
+// whole footprint was visible to their shard's engine, so the global
+// argmax structure around them is exactly what that engine optimized.
+//
+// Every accepted move strictly improves the schedule's period utility
+// (ties favor the current slot), so the sweep is a monotone
+// hill-climber: it terminates at a fixed point where no single halo
+// reassignment helps, and UtilityBefore <= Utility always holds.
+func correctionSweep(in core.Instance, mode core.Mode, assign []int, halo []int, maxRounds int) (rounds, moves int, err error) {
+	if maxRounds <= 0 || len(halo) == 0 {
+		return 0, 0, nil
+	}
+	oracles, err := core.SlotOracles(in, mode, assign)
+	if err != nil {
+		return 0, 0, err
+	}
+	for rounds < maxRounds {
+		m := sweepOnce(oracles, mode, assign, halo)
+		rounds++
+		moves += m
+		if m == 0 {
+			break
+		}
+	}
+	return rounds, moves, nil
+}
+
+// sweepOnce runs one correction round: every halo sensor, in ascending
+// ID order, is lifted out of its slot and re-inserted at the argmax
+// (placement: max marginal gain; removal: min marginal loss picks the
+// passive slot). The deterministic order plus the strict-improvement
+// move rule make the round a pure function of the oracle state, and the
+// incremental Add/Remove repairs keep the per-round cost at
+// O(halo · T · degree) with zero allocations on the CSR oracles — the
+// alloc gate in alloc_test.go pins that.
+func sweepOnce(oracles []submodular.RemovalOracle, mode core.Mode, assign []int, halo []int) int {
+	moves := 0
+	T := len(oracles)
+	for _, v := range halo {
+		old := assign[v]
+		switch mode {
+		case core.ModePlacement:
+			// Lift v out of its active slot; its gain there (== the
+			// utility just given up) is the bar to beat strictly.
+			bestT, bestG := old, 0.0
+			if old >= 0 {
+				oracles[old].Remove(v)
+				bestG = oracles[old].Gain(v)
+			}
+			for t := 0; t < T; t++ {
+				if t == old {
+					continue
+				}
+				if g := oracles[t].Gain(v); g > bestG {
+					bestT, bestG = t, g
+				}
+			}
+			if bestT >= 0 {
+				oracles[bestT].Add(v)
+			}
+			if bestT != old {
+				assign[v] = bestT
+				moves++
+			}
+		case core.ModeRemoval:
+			if old < 0 {
+				// Always-active sensor (no passive slot): removing it
+				// anywhere can only lose utility. Leave it alone.
+				continue
+			}
+			// Re-insert v into its passive slot, then pick the slot
+			// whose loss is strictly smallest to go passive in.
+			oracles[old].Add(v)
+			bestT, bestL := old, oracles[old].Loss(v)
+			for t := 0; t < T; t++ {
+				if t == old {
+					continue
+				}
+				if l := oracles[t].Loss(v); l < bestL {
+					bestT, bestL = t, l
+				}
+			}
+			oracles[bestT].Remove(v)
+			if bestT != old {
+				assign[v] = bestT
+				moves++
+			}
+		}
+	}
+	return moves
+}

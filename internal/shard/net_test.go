@@ -1,0 +1,219 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"cool/internal/geometry"
+	"cool/internal/netsim"
+	"cool/internal/stats"
+)
+
+// netFleet lays nodes on a jittered grid spanning several radio ranges
+// so the cut geometry produces genuine cross-border links.
+func netFleet(seed uint64, n int, width, height, radio float64) []netsim.NodeSpec {
+	rng := stats.NewRNG(seed)
+	specs := make([]netsim.NodeSpec, n)
+	for i := range specs {
+		specs[i] = netsim.NodeSpec{
+			ID:    netsim.NodeID(i),
+			Pos:   geometry.Point{X: rng.Float64() * width, Y: rng.Float64() * height},
+			Radio: radio,
+		}
+	}
+	return specs
+}
+
+// traceKey normalizes one tick's deliveries at one receiver: the sorted
+// sender list. Within a (tick, receiver) bucket the sharded core may
+// enqueue in a different order than the global core (local broadcasts
+// flush before foreign replays), so equivalence is defined up to that
+// order.
+func traceKey(msgs []netsim.Message) string {
+	froms := make([]int, len(msgs))
+	for i, m := range msgs {
+		froms[i] = int(m.From)
+	}
+	sort.Ints(froms)
+	return fmt.Sprint(froms)
+}
+
+// TestNetK1FullyIdentical pins the strongest contract: with one shard
+// the Net is the flat core — identical trace, counters, and RNG draws
+// even with loss and delay jitter.
+func TestNetK1FullyIdentical(t *testing.T) {
+	specs := netFleet(5, 150, 300, 100, 25)
+	sharded, err := NewNet(specs, NetOptions{Shards: 1, Loss: 0.3, MinDelay: 1, MaxDelay: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.EffectiveShards() != 1 {
+		t.Fatalf("got %d shards, want 1", sharded.EffectiveShards())
+	}
+	flat, err := netsim.NewNetwork(netsim.WithLoss(0.3), netsim.WithDelay(1, 3), netsim.WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.AddNodes(specs); err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB []netsim.Message
+	for tick := 0; tick < 12; tick++ {
+		for i := 0; i < len(specs); i += 7 {
+			id := specs[i].ID
+			if _, err := sharded.Batch(id, tick); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := flat.Batch(id, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sharded.Step()
+		flat.Step()
+		for _, s := range specs {
+			bufA, _ = sharded.ReceiveInto(s.ID, bufA)
+			bufB, _ = flat.ReceiveInto(s.ID, bufB)
+			if len(bufA) != len(bufB) {
+				t.Fatalf("tick %d node %d: %d vs %d deliveries", tick, s.ID, len(bufA), len(bufB))
+			}
+			for i := range bufA {
+				if bufA[i] != bufB[i] {
+					t.Fatalf("tick %d node %d msg %d: %+v vs %+v", tick, s.ID, i, bufA[i], bufB[i])
+				}
+			}
+		}
+	}
+	as, ad, ap := sharded.Stats()
+	bs, bd, bp := flat.Stats()
+	if as != bs || ad != bd || ap != bp {
+		t.Fatalf("stats diverge: sharded (%d,%d,%d) flat (%d,%d,%d)", as, ad, ap, bs, bd, bp)
+	}
+}
+
+// TestNetShardedTraceIdentical checks the k > 1 contract against the
+// reference implementation on a lossless fixed-delay medium: per-(tick,
+// receiver) delivery sets and the summed counters must match exactly,
+// including broadcasts whose radio disk straddles the cuts and down
+// nodes on both sides of a border.
+func TestNetShardedTraceIdentical(t *testing.T) {
+	for _, k := range []int{2, 4, 7} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			specs := netFleet(uint64(100+k), 220, 500, 80, 30)
+			sharded, err := NewNet(specs, NetOptions{Shards: k, MinDelay: 2, MaxDelay: 2, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sharded.EffectiveShards() < 2 {
+				t.Fatalf("decomposition collapsed to %d shards", sharded.EffectiveShards())
+			}
+			ref, err := netsim.NewReference(netsim.Config{MinDelay: 2, MaxDelay: 2, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range specs {
+				if err := ref.AddNode(s.ID, s.Pos, s.Radio); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Fail a few nodes up front (tick-boundary transitions, per
+			// the documented contract).
+			for _, down := range []int{3, 50, 120} {
+				if err := sharded.SetDown(netsim.NodeID(down), true); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.SetDown(netsim.NodeID(down), true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var bufA []netsim.Message
+			for tick := 0; tick < 10; tick++ {
+				for i := 0; i < len(specs); i += 3 {
+					id := specs[i].ID
+					if _, err := sharded.Batch(id, tick); err != nil {
+						t.Fatal(err)
+					}
+					// Reference Broadcast errors on a down sender; the
+					// sharded Batch reports 0 packets instead.
+					if !ref.IsDown(id) {
+						if err := ref.Broadcast(id, tick); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				sharded.Step()
+				ref.Step()
+				for _, s := range specs {
+					bufA, _ = sharded.ReceiveInto(s.ID, bufA)
+					bufB, err := ref.Receive(s.ID)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := traceKey(bufA), traceKey(bufB); got != want {
+						t.Fatalf("tick %d node %d: senders %s vs reference %s", tick, s.ID, got, want)
+					}
+					for _, m := range bufA {
+						if m.DeliveredAt != m.SentAt+2 || m.DeliveredAt != tick+1 {
+							t.Fatalf("tick %d node %d: bad timestamps %+v", tick, s.ID, m)
+						}
+					}
+				}
+			}
+			as, ad, ap := sharded.Stats()
+			bs, bd, bp := ref.Stats()
+			if as != bs || ad != bd || ap != bp {
+				t.Fatalf("stats diverge: sharded (%d,%d,%d) reference (%d,%d,%d)", as, ad, ap, bs, bd, bp)
+			}
+		})
+	}
+}
+
+// TestNetRouting covers the bookkeeping API: unknown nodes error,
+// down state routes to the home partition, clamping degrades k.
+func TestNetRouting(t *testing.T) {
+	specs := netFleet(1, 40, 200, 50, 20)
+	n, err := NewNet(specs, NetOptions{Shards: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Batch(netsim.NodeID(999), "x"); err == nil {
+		t.Fatal("unknown sender accepted")
+	}
+	if _, err := n.ReceiveInto(netsim.NodeID(999), nil); err == nil {
+		t.Fatal("unknown receiver accepted")
+	}
+	if err := n.SetDown(netsim.NodeID(999), true); err == nil {
+		t.Fatal("unknown node SetDown accepted")
+	}
+	if err := n.SetDown(specs[4].ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsDown(specs[4].ID) {
+		t.Fatal("down state lost")
+	}
+	if sent, err := n.Batch(specs[4].ID, "x"); err != nil || sent != 0 {
+		t.Fatalf("down sender: sent=%d err=%v, want 0, nil", sent, err)
+	}
+	if n.NumNodes() != 40 {
+		t.Fatalf("NumNodes = %d", n.NumNodes())
+	}
+	if got := len(n.Cuts()); got != n.EffectiveShards()-1 {
+		t.Fatalf("%d cuts for %d shards", got, n.EffectiveShards())
+	}
+
+	// More shards than nodes: clamped, still functional.
+	tiny, err := NewNet(specs[:3], NetOptions{Shards: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.EffectiveShards() > 3 {
+		t.Fatalf("tiny fleet got %d shards", tiny.EffectiveShards())
+	}
+	if _, err := NewNet(nil, NetOptions{Shards: 4}); err != nil {
+		t.Fatalf("empty fleet rejected: %v", err)
+	}
+	dup := []netsim.NodeSpec{specs[0], specs[0]}
+	if _, err := NewNet(dup, NetOptions{Shards: 1}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}

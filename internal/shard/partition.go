@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"math"
+
+	"cool/internal/geometry/grid"
+)
+
+// cutsFor chooses up to k-1 vertical cut coordinates for a population
+// of anchored items, snapped to grid-cell column boundaries: the column
+// histogram of the anchors is split at the k-quantiles, each cut placed
+// on the left boundary of the first column that reaches the quantile.
+// Cuts that would produce an empty strip (duplicate boundaries, or a
+// quantile already saturated by earlier columns) are dropped, so every
+// resulting strip holds at least one item — the graceful degradation
+// that clamps k > occupied-columns down to the populated geometry.
+// Non-finite anchors sit in the grid's overflow bucket and are homed to
+// the last strip by homeOf; they never influence cut placement.
+func cutsFor(ix *grid.Index, xs []float64, k int) []float64 {
+	if k <= 1 || ix.Len() == 0 {
+		return nil
+	}
+	cols := ix.Columns()
+	hist := make([]int, cols)
+	finite := 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		hist[ix.ColumnOf(x)]++
+		finite++
+	}
+	if finite == 0 {
+		return nil
+	}
+	// prefix[c] = items in columns [0, c).
+	prefix := make([]int, cols+1)
+	for c := 0; c < cols; c++ {
+		prefix[c+1] = prefix[c] + hist[c]
+	}
+	cuts := make([]float64, 0, k-1)
+	lastCol := 0
+	for s := 1; s < k; s++ {
+		// Smallest column boundary c beyond the previous cut with
+		// prefix[c] >= s·n/k *and* items strictly between the cuts —
+		// the second condition skips runs of empty columns that would
+		// otherwise become empty strips.
+		quota := (s*finite + k - 1) / k
+		c := lastCol + 1
+		for c < cols && (prefix[c] < quota || prefix[c] == prefix[lastCol]) {
+			c++
+		}
+		// A boundary at the field edge (or with nothing to its right)
+		// would leave the final strip empty, and no later quantile can
+		// do better: stop.
+		if c >= cols || prefix[c] >= finite {
+			break
+		}
+		cuts = append(cuts, ix.ColumnLeft(c))
+		lastCol = c
+	}
+	return cuts
+}
+
+// homeOf returns the strip index of an x coordinate under the ascending
+// cut list: strip s spans [cuts[s-1], cuts[s]) with open ends at the
+// field borders. NaN compares false against every cut and homes to the
+// last strip, which keeps degenerate geometry inside one shard instead
+// of erroring.
+func homeOf(cuts []float64, x float64) int {
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x < cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// crossesCut reports whether the Chebyshev footprint [x−reach, x+reach]
+// contains any cut — the halo criterion. Non-finite geometry is
+// conservatively halo: it cannot be proven interior.
+func crossesCut(cuts []float64, x, reach float64) bool {
+	if len(cuts) == 0 {
+		return false
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(reach) || math.IsInf(reach, 0) {
+		return true
+	}
+	if reach < 0 {
+		reach = 0
+	}
+	return homeOf(cuts, x-reach) != homeOf(cuts, x+reach)
+}
+
+// partition is the computed shard decomposition of a Problem.
+type partition struct {
+	cuts []float64
+	// homeSensor[v] / homeTarget[j] are strip indices.
+	homeSensor, homeTarget []int
+	// shardSensors[s] / shardTargets[s] list the strip's members in
+	// ascending global ID order.
+	shardSensors, shardTargets [][]int
+	// halo[v] marks sensors whose footprint crosses a cut; haloList is
+	// the ascending ID list of them.
+	halo     []bool
+	haloList []int
+}
+
+// newPartition cuts the problem into at most k strips. The grid index
+// is built over the sensor anchors with their footprint reaches, so the
+// cut lines inherit the grid's cell geometry: a cell side is at least
+// the maximum reach, hence an interior sensor is at least one full cell
+// away from every cut.
+func newPartition(p *Problem, k int) *partition {
+	items := make([]grid.Item, len(p.Sensors))
+	xs := make([]float64, len(p.Sensors))
+	for v, s := range p.Sensors {
+		items[v] = grid.Item{Pos: grid.Point{X: s.X, Y: s.Y}, Reach: s.Reach}
+		xs[v] = s.X
+	}
+	ix := grid.Build(items)
+	pt := &partition{cuts: cutsFor(ix, xs, k)}
+	kEff := len(pt.cuts) + 1
+	pt.homeSensor = make([]int, len(p.Sensors))
+	pt.homeTarget = make([]int, len(p.Targets))
+	pt.shardSensors = make([][]int, kEff)
+	pt.shardTargets = make([][]int, kEff)
+	pt.halo = make([]bool, len(p.Sensors))
+	for v, s := range p.Sensors {
+		home := homeOf(pt.cuts, s.X)
+		pt.homeSensor[v] = home
+		pt.shardSensors[home] = append(pt.shardSensors[home], v)
+		if crossesCut(pt.cuts, s.X, s.Reach) {
+			pt.halo[v] = true
+			pt.haloList = append(pt.haloList, v)
+		}
+	}
+	for j, tg := range p.Targets {
+		home := homeOf(pt.cuts, tg.X)
+		pt.homeTarget[j] = home
+		pt.shardTargets[home] = append(pt.shardTargets[home], j)
+	}
+	return pt
+}
+
+// shards returns the effective strip count.
+func (pt *partition) shards() int { return len(pt.shardSensors) }

@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"cool/internal/geometry/grid"
+)
+
+// TestHomeOfAndCrossesCut pins the strip arithmetic: half-open strips
+// [cut, next), NaN homed to the last strip, and the halo criterion as a
+// footprint-interval test.
+func TestHomeOfAndCrossesCut(t *testing.T) {
+	cuts := []float64{10, 20}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{5, 0}, {9.999, 0}, {10, 1}, {15, 1}, {20, 2}, {25, 2},
+		{math.Inf(-1), 0}, {math.Inf(1), 2}, {math.NaN(), 2},
+	}
+	for _, c := range cases {
+		if got := homeOf(cuts, c.x); got != c.want {
+			t.Errorf("homeOf(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if crossesCut(cuts, 5, 1) {
+		t.Error("interior footprint flagged halo")
+	}
+	if !crossesCut(cuts, 9.5, 1) {
+		t.Error("footprint spanning cut 10 not flagged halo")
+	}
+	if !crossesCut(cuts, math.NaN(), 1) || !crossesCut(cuts, 5, math.Inf(1)) {
+		t.Error("non-finite geometry must be conservatively halo")
+	}
+	if crossesCut(nil, 9.5, 100) {
+		t.Error("no cuts, no halo")
+	}
+}
+
+// TestCutsForBalance checks the quantile cuts on a uniform population:
+// ascending cuts, every strip non-empty, and reasonable balance.
+func TestCutsForBalance(t *testing.T) {
+	const n, k = 4000, 8
+	items := make([]grid.Item, n)
+	xs := make([]float64, n)
+	for i := range items {
+		x := float64(i) / float64(n) * 1000
+		items[i] = grid.Item{Pos: grid.Point{X: x, Y: float64(i % 50)}, Reach: 2}
+		xs[i] = x
+	}
+	cuts := cutsFor(grid.Build(items), xs, k)
+	if len(cuts) == 0 || len(cuts) > k-1 {
+		t.Fatalf("got %d cuts, want 1..%d", len(cuts), k-1)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly ascending: %v", cuts)
+		}
+	}
+	counts := make([]int, len(cuts)+1)
+	for _, x := range xs {
+		counts[homeOf(cuts, x)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("strip %d empty: %v", s, counts)
+		}
+		// Quantile cuts snapped to cell boundaries: allow generous slack
+		// around the ideal n/k.
+		if c > 3*n/k {
+			t.Fatalf("strip %d holds %d of %d items — badly unbalanced: %v", s, c, n, counts)
+		}
+	}
+}
+
+// TestCutsForDegenerate covers the clamping paths: a single occupied
+// column, empty interior columns, and k larger than the population.
+func TestCutsForDegenerate(t *testing.T) {
+	// All anchors identical: no cut can separate them.
+	same := make([]grid.Item, 10)
+	sameXs := make([]float64, 10)
+	for i := range same {
+		same[i] = grid.Item{Pos: grid.Point{X: 5, Y: float64(i)}, Reach: 1}
+		sameXs[i] = 5
+	}
+	if cuts := cutsFor(grid.Build(same), sameXs, 4); len(cuts) != 0 {
+		t.Fatalf("identical anchors produced cuts %v", cuts)
+	}
+
+	// Two far clusters with a wide empty gap: at most one populated
+	// boundary exists, and no strip may come out empty no matter how
+	// large k is.
+	var items []grid.Item
+	var xs []float64
+	for i := 0; i < 10; i++ {
+		for _, x := range []float64{0.5, 999.5} {
+			items = append(items, grid.Item{Pos: grid.Point{X: x, Y: float64(i)}, Reach: 1})
+			xs = append(xs, x)
+		}
+	}
+	cuts := cutsFor(grid.Build(items), xs, 16)
+	if len(cuts) > 1 {
+		t.Fatalf("two clusters produced %d cuts %v, want at most 1", len(cuts), cuts)
+	}
+	counts := make([]int, len(cuts)+1)
+	for _, x := range xs {
+		counts[homeOf(cuts, x)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("strip %d empty with cuts %v", s, cuts)
+		}
+	}
+}
+
+// TestPartitionSoundness verifies the invariant the whole decomposition
+// rests on: a sensor covering a target homed in a different strip must
+// be classified halo. Interior sensors' coverage is entirely local.
+func TestPartitionSoundness(t *testing.T) {
+	d := buildTestProblem(t, 11, 600, 300, 400, 100, 12, placementPeriod(), true)
+	pt := newPartition(d.p, 6)
+	if pt.shards() < 2 {
+		t.Fatalf("expected a real decomposition, got %d shards", pt.shards())
+	}
+	if len(pt.haloList) == 0 || len(pt.haloList) == len(d.p.Sensors) {
+		t.Fatalf("degenerate halo classification: %d of %d", len(pt.haloList), len(d.p.Sensors))
+	}
+	for j, cov := range d.coverers {
+		for _, v := range cov {
+			if pt.homeSensor[v] != pt.homeTarget[j] && !pt.halo[v] {
+				t.Fatalf("sensor %d (strip %d) covers target %d (strip %d) but is not halo",
+					v, pt.homeSensor[v], j, pt.homeTarget[j])
+			}
+		}
+	}
+	// Strips partition the ground set.
+	seen := 0
+	for s := 0; s < pt.shards(); s++ {
+		seen += len(pt.shardSensors[s])
+		if len(pt.shardSensors[s]) == 0 {
+			t.Fatalf("strip %d has no sensors", s)
+		}
+	}
+	if seen != len(d.p.Sensors) {
+		t.Fatalf("strips hold %d sensors, deployment has %d", seen, len(d.p.Sensors))
+	}
+}

@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"cool/internal/core"
+	"cool/internal/energy"
+	"cool/internal/stats"
+	"cool/internal/submodular"
+)
+
+// testDeployment is a random geometric coverage instance with the
+// brute-force incidence, wired into a shard Problem with a remapping
+// BuildShard closure — the same construction pattern the root facade
+// uses, minus the wsn dependency (internal/shard must stay below wsn in
+// the layering).
+type testDeployment struct {
+	p        *Problem
+	radius   float64
+	coverers [][]int // coverers[j]: ascending sensor IDs covering target j
+	detect   bool
+}
+
+// prob is the detection probability of sensor v at target j, a pure
+// function of the geometry so the global and per-shard utilities agree
+// bit-for-bit on shared (sensor, target) pairs.
+func (d *testDeployment) prob(v, j int) float64 {
+	s, t := d.p.Sensors[v], d.p.Targets[j]
+	dist := math.Hypot(s.X-t.X, s.Y-t.Y)
+	return 0.25 + 0.7*(1-dist/(d.radius*1.0001))
+}
+
+// factory builds the oracle factory restricted to the given ascending
+// global sensor and target ID lists (the full lists give the global
+// factory).
+func (d *testDeployment) factory(sensors, targets []int) (core.OracleFactory, error) {
+	local := make([]int, len(d.p.Sensors))
+	for i := range local {
+		local[i] = -1
+	}
+	for u, v := range sensors {
+		local[v] = u
+	}
+	if d.detect {
+		tl := make([]submodular.DetectionTarget, 0, len(targets))
+		for _, j := range targets {
+			probs := make(map[int]float64)
+			for _, v := range d.coverers[j] {
+				if local[v] >= 0 {
+					probs[local[v]] = d.prob(v, j)
+				}
+			}
+			tl = append(tl, submodular.DetectionTarget{Weight: 1, Probs: probs})
+		}
+		u, err := submodular.NewDetectionUtility(len(sensors), tl)
+		if err != nil {
+			return nil, err
+		}
+		return func() submodular.RemovalOracle { return u.Oracle() }, nil
+	}
+	items := make([]submodular.CoverageItem, 0, len(targets))
+	for _, j := range targets {
+		var covered []int
+		for _, v := range d.coverers[j] {
+			if local[v] >= 0 {
+				covered = append(covered, local[v])
+			}
+		}
+		if len(covered) == 0 {
+			continue
+		}
+		items = append(items, submodular.CoverageItem{Value: 1, CoveredBy: covered})
+	}
+	u, err := submodular.NewCoverageUtility(len(sensors), items)
+	if err != nil {
+		return nil, err
+	}
+	return func() submodular.RemovalOracle { return u.Oracle() }, nil
+}
+
+// buildTestProblem places n sensors and m targets uniformly in a
+// width×height field with disk footprints of the given radius.
+func buildTestProblem(tb testing.TB, seed uint64, n, m int, width, height, radius float64,
+	period energy.Period, detect bool) *testDeployment {
+	tb.Helper()
+	rng := stats.NewRNG(seed)
+	d := &testDeployment{radius: radius, detect: detect}
+	p := &Problem{
+		Sensors: make([]SensorGeom, n),
+		Targets: make([]TargetGeom, m),
+		Period:  period,
+	}
+	d.p = p
+	for v := range p.Sensors {
+		p.Sensors[v] = SensorGeom{X: rng.Float64() * width, Y: rng.Float64() * height, Reach: radius}
+	}
+	for j := range p.Targets {
+		p.Targets[j] = TargetGeom{X: rng.Float64() * width, Y: rng.Float64() * height}
+	}
+	d.coverers = make([][]int, m)
+	for j, tg := range p.Targets {
+		for v, s := range p.Sensors {
+			if math.Hypot(s.X-tg.X, s.Y-tg.Y) <= radius {
+				d.coverers[j] = append(d.coverers[j], v)
+			}
+		}
+	}
+	factory, err := d.factory(allIDs(n), allIDs(m))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p.Global = core.Instance{N: n, Period: period, Factory: factory}
+	p.BuildShard = d.factory
+	return d
+}
+
+func allIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// periods used across the tests: placement (ρ = 3 ≥ 1) and removal
+// (ρ = 1/3 ≤ 1).
+func placementPeriod() energy.Period { return energy.Period{ActiveSlots: 1, PassiveSlots: 3} }
+func removalPeriod() energy.Period   { return energy.Period{ActiveSlots: 3, PassiveSlots: 1} }

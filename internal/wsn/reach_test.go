@@ -1,0 +1,37 @@
+package wsn
+
+import (
+	"testing"
+
+	"cool/internal/geometry"
+)
+
+// TestSensorReach pins the exported Reach against the footprint cases
+// sensorReach handles: disks, off-center custom footprints, and the
+// degenerate footprint containing its own anchor's bounding box.
+func TestSensorReach(t *testing.T) {
+	disk := Sensor{ID: 0, Pos: geometry.Point{X: 3, Y: 4}, Range: 7.5}
+	if got := disk.Reach(); got != 7.5 {
+		t.Fatalf("disk Reach = %v, want 7.5", got)
+	}
+
+	// Off-center footprint: a disk centered 10 units right of the node.
+	offset := Sensor{
+		ID:        1,
+		Pos:       geometry.Point{X: 0, Y: 0},
+		Footprint: geometry.Disk{Center: geometry.Point{X: 10, Y: 0}, Radius: 2},
+	}
+	if got := offset.Reach(); got != 12 {
+		t.Fatalf("off-center Reach = %v, want 12", got)
+	}
+
+	// A sector footprint never exceeds its disk's reach.
+	sector := Sensor{
+		ID:        2,
+		Pos:       geometry.Point{X: 5, Y: 5},
+		Footprint: geometry.Sector{Center: geometry.Point{X: 5, Y: 5}, Radius: 4, Heading: 0, HalfAngle: 0.5},
+	}
+	if got := sector.Reach(); got < 0 || got > 4+1e-9 {
+		t.Fatalf("sector Reach = %v, want within [0, 4]", got)
+	}
+}

@@ -39,6 +39,14 @@ func (s Sensor) Region() geometry.Region {
 // Covers reports whether the sensor's footprint contains the point.
 func (s Sensor) Covers(p geometry.Point) bool { return s.Region().Contains(p) }
 
+// Reach returns the Chebyshev reach of the sensor's footprint from its
+// position: the smallest r such that the footprint fits inside
+// [Pos.X±r] × [Pos.Y±r] (the grid.Item contract; see sensorReach). The
+// sensing radius for the default disk, a bounds-derived radius for a
+// custom Footprint. The shard partitioner uses it to classify sensors
+// whose footprint crosses a shard border as halo.
+func (s Sensor) Reach() float64 { return sensorReach(s, s.Region()) }
+
 // Target is one monitored object O_i.
 type Target struct {
 	// ID is the target's index, 0-based.
