@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard bench-replan figures examples fuzz clean
 
 all: build vet test
 
@@ -76,6 +76,15 @@ bench-shard:
 	$(GO) test -run TestShardBenchQuick -v ./internal/experiments/
 	$(GO) run ./cmd/coolbench -fig shard -quick
 
+# Incremental-replanning smoke pass: vet, then the bench's own verdict
+# gate (TestReplanBenchQuick asserts init bit identity, feasibility and
+# the utility-gap bound on every row), then the quick repair-vs-full
+# sweep that writes BENCH_replan.json.
+bench-replan:
+	$(GO) vet ./...
+	$(GO) test -run TestReplanBenchQuick -v ./internal/experiments/
+	$(GO) run ./cmd/coolbench -fig replan -quick
+
 # Regenerate every paper figure and ablation into results/.
 figures:
 	$(GO) run ./cmd/coolbench -fig all -out results/
@@ -94,6 +103,11 @@ fuzz:
 	$(GO) test ./internal/netsim/ -fuzz FuzzNetsimDiff -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzEngineEquivalence -fuzztime 30s
 	$(GO) test ./internal/shard/ -fuzz FuzzShardEquivalence -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzIncrementalEquivalence -fuzztime 30s
 
+# Scope cleanup to generated artifacts only: `go clean -fuzzcache`
+# drops the cached fuzz corpora under GOCACHE, never the committed
+# seed corpora in */testdata/fuzz.
 clean:
-	rm -rf results/ testdata/fuzz
+	$(GO) clean -fuzzcache
+	rm -rf results/

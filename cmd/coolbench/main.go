@@ -31,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("coolbench", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|kernels|shard|all")
+		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|kernels|shard|replan|all")
 		outDir  = fs.String("out", "", "directory for CSV output (omit to skip CSV)")
 		quick   = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		chart   = fs.Bool("chart", false, "also render ASCII charts")
@@ -273,8 +273,22 @@ func collect(which string, quick bool, seed uint64, workers int) ([]*experiments
 		out = append(out, f)
 		benches = append(benches, benchOutput{name: "shard", data: res})
 	}
+	if want("replan") {
+		cfg := experiments.ReplanConfig{Seed: seed}
+		if quick {
+			cfg.Sizes = []int{1000}
+			cfg.PertFracs = []float64{0, 0.01}
+			cfg.Iters = 1
+		}
+		f, res, err := experiments.ReplanBench(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, f)
+		benches = append(benches, benchOutput{name: "replan", data: res})
+	}
 	if len(out) == 0 {
-		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|kernels|shard|all)", which)
+		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|kernels|shard|replan|all)", which)
 	}
 	return out, benches, nil
 }

@@ -51,6 +51,10 @@ func run(args []string, out io.Writer) error {
 		radio     = fs.Bool("radio", false, "disseminate the schedule over the simulated lossy radio network before running")
 		radioLoss = fs.Float64("radio-loss", 0.1, "radio mode: per-link drop probability in [0,1)")
 		radioRng  = fs.Float64("radio-range", 0, "radio mode: transmission range (0 selects 35% of the field side)")
+		kill      = fs.String("kill", "", "perturbation script: kill sensors mid-run, e.g. \"5:3+17;12:40\" (day:id+id;...)")
+		deploy    = fs.String("deploy", "", "perturbation script: re-deploy absent sensors, e.g. \"8:3+17\" (day:id+id;...)")
+		drift     = fs.String("drift", "", "perturbation script: recharge-ratio drift, e.g. \"10:0.5;20:3\" (day:rho;...)")
+		reserve   = fs.Int("reserve", 0, "hold back the last k sensors as an undeployed reserve pool for -deploy")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +78,16 @@ func run(args []string, out io.Writer) error {
 	util, err := cool.NewDetectionUtility(net, cool.FixedProb(*p))
 	if err != nil {
 		return err
+	}
+	if *kill != "" || *deploy != "" || *drift != "" || *reserve > 0 {
+		if *schedFile != "" || *shards > 0 || *radio || *reps > 1 || *policy != "greedy" {
+			return fmt.Errorf("perturbation scripts require the default greedy policy without -schedule/-shards/-radio/-reps")
+		}
+		events, err := parsePerturbScript(*kill, *deploy, *drift)
+		if err != nil {
+			return err
+		}
+		return runPerturbed(out, net, util, *rho, *days, *reserve, events, *seed, 48)
 	}
 	period, err := cool.PeriodFromRho(*rho)
 	if err != nil {

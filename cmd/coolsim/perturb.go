@@ -1,0 +1,212 @@
+// Mid-simulation perturbation script: -kill, -deploy and -drift events
+// applied between simulated days through the incremental replanner
+// (Planner.Incremental), so the simulation exercises the O(perturbation)
+// repair path instead of replanning the fleet from scratch.
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cool"
+)
+
+// perturbEvent is one scripted fleet change, applied at the start of
+// the given day (0-based).
+type perturbEvent struct {
+	day  int
+	kind string // "kill" | "deploy" | "drift"
+	ids  []int
+	rho  float64
+}
+
+// parsePerturbScript decodes the -kill/-deploy/-drift flag syntax:
+//
+//	-kill   "5:3+17+29;12:40"     kill ids 3,17,29 at day 5 and 40 at day 12
+//	-deploy "8:3+17"              re-deploy ids 3 and 17 at day 8
+//	-drift  "10:0.5;20:3"         update rho at days 10 and 20
+//
+// Events across all three flags are merged and applied in day order
+// (kills before deploys before drifts on the same day).
+func parsePerturbScript(kill, deploy, drift string) ([]perturbEvent, error) {
+	var events []perturbEvent
+	parseIDs := func(kind, spec string) error {
+		for _, part := range splitSpec(spec) {
+			day, rest, err := splitDay(part)
+			if err != nil {
+				return fmt.Errorf("-%s %q: %w", kind, part, err)
+			}
+			var ids []int
+			for _, f := range strings.Split(rest, "+") {
+				id, err := strconv.Atoi(f)
+				if err != nil {
+					return fmt.Errorf("-%s %q: bad sensor id %q", kind, part, f)
+				}
+				ids = append(ids, id)
+			}
+			events = append(events, perturbEvent{day: day, kind: kind, ids: ids})
+		}
+		return nil
+	}
+	if err := parseIDs("kill", kill); err != nil {
+		return nil, err
+	}
+	if err := parseIDs("deploy", deploy); err != nil {
+		return nil, err
+	}
+	for _, part := range splitSpec(drift) {
+		day, rest, err := splitDay(part)
+		if err != nil {
+			return nil, fmt.Errorf("-drift %q: %w", part, err)
+		}
+		rho, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-drift %q: bad rho %q", part, rest)
+		}
+		events = append(events, perturbEvent{day: day, kind: "drift", rho: rho})
+	}
+	order := map[string]int{"kill": 0, "deploy": 1, "drift": 2}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].day != events[j].day {
+			return events[i].day < events[j].day
+		}
+		return order[events[i].kind] < order[events[j].kind]
+	})
+	return events, nil
+}
+
+func splitSpec(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ";") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitDay(part string) (int, string, error) {
+	day, rest, ok := strings.Cut(part, ":")
+	if !ok {
+		return 0, "", fmt.Errorf("want day:spec")
+	}
+	d, err := strconv.Atoi(day)
+	if err != nil || d < 0 {
+		return 0, "", fmt.Errorf("bad day %q", day)
+	}
+	return d, rest, nil
+}
+
+// runPerturbed simulates the scripted deployment day-segment by
+// day-segment: each segment runs under the current committed schedule,
+// then the due events are absorbed by the incremental repairer and the
+// next segment starts from the repaired schedule. The reserve pool
+// (last -reserve sensor ids) is planned into the ground set but held
+// absent until a -deploy event activates it.
+func runPerturbed(out io.Writer, net *cool.Network, util cool.Utility, rho float64,
+	days, reserve int, events []perturbEvent, seed uint64, slotsPerDay int) error {
+	period, err := cool.PeriodFromRho(rho)
+	if err != nil {
+		return err
+	}
+	planner, err := cool.NewPlanner(util, period)
+	if err != nil {
+		return err
+	}
+	inc, err := planner.Incremental()
+	if err != nil {
+		return err
+	}
+	n := net.NumSensors()
+	if reserve < 0 || reserve >= n {
+		return fmt.Errorf("reserve pool %d outside [0,%d)", reserve, n)
+	}
+	if reserve > 0 {
+		pool := make([]int, reserve)
+		for i := range pool {
+			pool[i] = n - reserve + i
+		}
+		if _, err := inc.KillSensors(pool); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "reserve pool: sensors %d..%d held back (deploy with -deploy day:%d+...)\n",
+			n-reserve, n-1, n-reserve)
+	}
+	for _, ev := range events {
+		if ev.day >= days {
+			return fmt.Errorf("event at day %d beyond -days %d", ev.day, days)
+		}
+	}
+
+	var total float64
+	var denied int
+	simulatedDays := 0
+	simulate := func(until int) error {
+		if until <= simulatedDays {
+			return nil
+		}
+		sched, err := inc.Schedule()
+		if err != nil {
+			return err
+		}
+		cfg := cool.SimConfig{
+			NumSensors: n,
+			Slots:      (until - simulatedDays) * slotsPerDay,
+			Policy:     cool.SchedulePolicy{Schedule: sched},
+			Factory:    cool.NewInstanceOracleFactory(util),
+			Targets:    net.NumTargets(),
+			Seed:       seed + uint64(simulatedDays),
+			Charging:   cool.DeterministicCharging{Period: inc.Period()},
+		}
+		res, err := cool.RunSimulation(cfg)
+		if err != nil {
+			return err
+		}
+		total += res.TotalUtility
+		denied += res.ActivationsDenied
+		fmt.Fprintf(out, "days %d..%d: %d live sensors, mode=%v, utility %.4f\n",
+			simulatedDays, until-1, inc.NumPresent(), inc.Mode(), res.TotalUtility)
+		simulatedDays = until
+		return nil
+	}
+
+	for _, ev := range events {
+		if err := simulate(ev.day); err != nil {
+			return err
+		}
+		var st cool.RepairStats
+		var label string
+		switch ev.kind {
+		case "kill":
+			st, err = inc.KillSensors(ev.ids)
+			label = fmt.Sprintf("kill %v", ev.ids)
+		case "deploy":
+			st, err = inc.DeploySensors(ev.ids)
+			label = fmt.Sprintf("deploy %v", ev.ids)
+		case "drift":
+			st, err = inc.UpdateRho(ev.rho)
+			label = fmt.Sprintf("drift rho=%g", ev.rho)
+		}
+		if err != nil {
+			return fmt.Errorf("day %d %s: %w", ev.day, label, err)
+		}
+		gap, err := inc.Gap()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "day %d: %s -> %d dirty, %d moves in %d rounds (full=%v), utility %.4f -> %.4f, gap vs replan %.3f%%\n",
+			ev.day, label, st.Dirty, st.Moves, st.Rounds, st.Full, st.UtilityBefore, st.Utility, gap)
+	}
+	if err := simulate(days); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "perturbed run complete: %d days, total utility %.4f, denied activations %d\n",
+		days, total, denied)
+	return nil
+}

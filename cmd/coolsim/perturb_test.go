@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParsePerturbScript(t *testing.T) {
+	events, err := parsePerturbScript("5:3+17;12:40", "8:3", "10:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events: %+v", len(events), events)
+	}
+	// Day order, kills before deploys before drifts.
+	if events[0].day != 5 || events[0].kind != "kill" || len(events[0].ids) != 2 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].day != 8 || events[1].kind != "deploy" {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+	if events[2].day != 10 || events[2].kind != "drift" || events[2].rho != 0.5 {
+		t.Errorf("event 2 = %+v", events[2])
+	}
+	if events[3].day != 12 || events[3].kind != "kill" {
+		t.Errorf("event 3 = %+v", events[3])
+	}
+	for _, bad := range [][3]string{
+		{"5", "", ""},      // no colon
+		{"x:3", "", ""},    // bad day
+		{"5:a", "", ""},    // bad id
+		{"", "", "3:oops"}, // bad rho
+		{"-1:3", "", ""},   // negative day
+	} {
+		if _, err := parsePerturbScript(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("script %v accepted", bad)
+		}
+	}
+}
+
+func TestRunPerturbedScript(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-n", "30", "-m", "6", "-days", "8", "-seed", "9",
+		"-reserve", "4",
+		"-kill", "2:1+5",
+		"-deploy", "4:26+27",
+		"-drift", "6:0.5",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"reserve pool: sensors 26..29",
+		"day 2: kill [1 5]",
+		"day 4: deploy [26 27]",
+		"day 6: drift rho=0.5",
+		"gap vs replan",
+		"mode=removal",
+		"perturbed run complete: 8 days",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPerturbedErrors(t *testing.T) {
+	var buf bytes.Buffer
+	// Event beyond the horizon.
+	if err := run([]string{"-n", "10", "-m", "2", "-days", "3", "-kill", "5:1"}, &buf); err == nil {
+		t.Error("event beyond -days accepted")
+	}
+	// Incompatible with baselines policies.
+	if err := run([]string{"-n", "10", "-m", "2", "-days", "3", "-kill", "1:1", "-policy", "random"}, &buf); err == nil {
+		t.Error("perturbation with baseline policy accepted")
+	}
+	// Reserve exceeding the fleet.
+	if err := run([]string{"-n", "10", "-m", "2", "-days", "3", "-reserve", "10"}, &buf); err == nil {
+		t.Error("reserve == fleet accepted")
+	}
+	// Killing a reserved (already absent) sensor.
+	if err := run([]string{"-n", "10", "-m", "2", "-days", "3", "-reserve", "2", "-kill", "1:9"}, &buf); err == nil {
+		t.Error("killing an absent sensor accepted")
+	}
+}

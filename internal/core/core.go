@@ -94,11 +94,19 @@ type Schedule struct {
 	// assign[v] is the chosen slot of sensor v within the period: its
 	// single active slot (placement) or its single passive slot
 	// (removal). −1 means unassigned (sensor never active in placement
-	// mode, always active in removal mode).
+	// mode, always active in removal mode); Absent (−2) means the
+	// sensor is inactive in every slot in both modes.
 	assign []int
 	// slots[t] caches the sorted active set of slot t.
 	slots [][]int
 }
+
+// Absent is the assignment marker for a sensor that is inactive in
+// every slot of the period, in both modes. The removal regime's −1
+// ("always active") cannot express a dead or removed sensor, so the
+// incremental Repairer uses Absent to keep sensor IDs stable across
+// fleet perturbations instead of compacting the ground set.
+const Absent = -2
 
 // MaxPeriod bounds the number of slots in one period. Physical
 // recharge/discharge ratios give periods of at most a few dozen slots;
@@ -120,7 +128,7 @@ func NewSchedule(mode Mode, period int, assign []int) (*Schedule, error) {
 		return nil, fmt.Errorf("core: period %d exceeds MaxPeriod %d", period, MaxPeriod)
 	}
 	for v, t := range assign {
-		if t < -1 || t >= period {
+		if t != Absent && (t < -1 || t >= period) {
 			return nil, fmt.Errorf("core: sensor %d assigned to slot %d outside [0,%d)", v, t, period)
 		}
 	}
@@ -136,6 +144,9 @@ func NewSchedule(mode Mode, period int, assign []int) (*Schedule, error) {
 func (s *Schedule) rebuildSlots() {
 	s.slots = make([][]int, s.period)
 	for v, t := range s.assign {
+		if t == Absent {
+			continue // inactive everywhere in both modes
+		}
 		switch s.mode {
 		case ModePlacement:
 			if t >= 0 {
@@ -185,6 +196,9 @@ func (s *Schedule) IsActiveAt(v, t int) bool {
 	slot := t % s.period
 	if slot < 0 {
 		slot += s.period
+	}
+	if s.assign[v] == Absent {
+		return false
 	}
 	switch s.mode {
 	case ModePlacement:

@@ -107,8 +107,33 @@ func TestNewScheduleValidation(t *testing.T) {
 	if _, err := NewSchedule(ModePlacement, 4, []int{4}); err == nil {
 		t.Error("out-of-range slot accepted")
 	}
-	if _, err := NewSchedule(ModePlacement, 4, []int{-2}); err == nil {
-		t.Error("slot -2 accepted")
+	if _, err := NewSchedule(ModePlacement, 4, []int{Absent}); err != nil {
+		t.Errorf("Absent marker rejected: %v", err)
+	}
+	if _, err := NewSchedule(ModePlacement, 4, []int{-3}); err == nil {
+		t.Error("slot -3 accepted")
+	}
+}
+
+// TestScheduleAbsentSemantics pins the Absent marker: an absent sensor
+// is inactive in every slot in both modes, contributes nothing to the
+// slot cache, and round-trips feasibility checks.
+func TestScheduleAbsentSemantics(t *testing.T) {
+	for _, mode := range []Mode{ModePlacement, ModeRemoval} {
+		s, err := NewSchedule(mode, 3, []int{0, Absent, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := 0; tt < 3; tt++ {
+			if s.IsActiveAt(1, tt) {
+				t.Errorf("%v: absent sensor active at slot %d", mode, tt)
+			}
+			for _, v := range s.ActiveAt(tt) {
+				if v == 1 {
+					t.Errorf("%v: absent sensor in ActiveAt(%d)", mode, tt)
+				}
+			}
+		}
 	}
 }
 

@@ -48,15 +48,39 @@ func greedyPlacement(in Instance) (*Schedule, error) {
 	assign := newAssignment(in.N)
 	pending := newPending(in.N)
 	cache := newMarginCache(in.N, T)
-	colBest := make([]candidate, T)
 	for t := 0; t < T; t++ {
 		fillColumn(cache, t, oracles[t], assign, false)
+	}
+	err := runPlacementLoop(oracles, cache, assign, pending, func(t, changed int) {
+		refreshColumnAfter(cache, t, oracles[t], assign, false, changed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewSchedule(ModePlacement, T, assign)
+}
+
+// runPlacementLoop is the shared body of the placement greedy: it
+// assigns every sensor of pending (ascending, all unassigned) to its
+// argmax slot, maintaining the per-column candidate tracking described
+// on greedyPlacement. The cache must hold exact gains for every pending
+// sensor on entry; after each Add the loop calls refresh(t, changed) to
+// restore exactness of the mutated column. Extracting the loop lets the
+// incremental Repairer insert perturbation batches through the *same*
+// code path as the full plan, so a repairer insertion is bit-identical
+// to the greedy having scheduled those sensors last. The pending slice
+// is consumed.
+func runPlacementLoop(oracles []submodular.RemovalOracle, cache *marginCache, assign []int, pending []int, refresh func(t, changed int)) error {
+	T := len(oracles)
+	colBest := make([]candidate, T)
+	for t := 0; t < T; t++ {
 		colBest[t] = cache.argmaxColumn(t, pending)
 	}
-	for step := 0; step < in.N; step++ {
+	steps := len(pending)
+	for step := 0; step < steps; step++ {
 		best := bestOfColumnsMax(colBest)
 		if best.v < 0 {
-			return nil, fmt.Errorf("core: greedy found no candidate at step %d", step)
+			return fmt.Errorf("core: greedy found no candidate at step %d", step)
 		}
 		oracles[best.t].Add(best.v)
 		assign[best.v] = best.t
@@ -64,7 +88,7 @@ func greedyPlacement(in Instance) (*Schedule, error) {
 		// Dirty-slot refresh: only best.t's oracle changed — and within
 		// it, only the sensors sharing a target with best.v (sparse
 		// refresh when the oracle supports it; see refreshColumnAfter).
-		refreshColumnAfter(cache, best.t, oracles[best.t], assign, false, best.v)
+		refresh(best.t, best.v)
 		colBest[best.t] = cache.argmaxColumn(best.t, pending)
 		for t := 0; t < T; t++ {
 			if t != best.t && colBest[t].v == best.v {
@@ -72,7 +96,7 @@ func greedyPlacement(in Instance) (*Schedule, error) {
 			}
 		}
 	}
-	return NewSchedule(ModePlacement, T, assign)
+	return nil
 }
 
 // fillColumn refreshes slot t's cache column from its oracle. When the
@@ -141,20 +165,39 @@ func greedyRemoval(in Instance) (*Schedule, error) {
 	assign := newAssignment(in.N)
 	pending := newPending(in.N)
 	cache := newMarginCache(in.N, T)
-	colBest := make([]candidate, T)
 	for t := 0; t < T; t++ {
 		fillColumn(cache, t, oracles[t], assign, true)
+	}
+	err := runRemovalLoop(oracles, cache, assign, pending, func(t, changed int) {
+		refreshColumnAfter(cache, t, oracles[t], assign, true, changed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewSchedule(ModeRemoval, T, assign)
+}
+
+// runRemovalLoop is the loss-side dual of runPlacementLoop: every
+// sensor of pending receives the passive slot whose removal loses the
+// least utility, with the same per-column candidate tracking and the
+// same exact-cache/refresh contract. Shared by greedyRemoval and the
+// incremental Repairer. The pending slice is consumed.
+func runRemovalLoop(oracles []submodular.RemovalOracle, cache *marginCache, assign []int, pending []int, refresh func(t, changed int)) error {
+	T := len(oracles)
+	colBest := make([]candidate, T)
+	for t := 0; t < T; t++ {
 		colBest[t] = cache.argminColumn(t, pending)
 	}
-	for step := 0; step < in.N; step++ {
+	steps := len(pending)
+	for step := 0; step < steps; step++ {
 		best := bestOfColumnsMin(colBest)
 		if best.v < 0 {
-			return nil, fmt.Errorf("core: removal greedy found no candidate at step %d", step)
+			return fmt.Errorf("core: removal greedy found no candidate at step %d", step)
 		}
 		oracles[best.t].Remove(best.v)
 		assign[best.v] = best.t
 		pending = dropPending(pending, best.v)
-		refreshColumnAfter(cache, best.t, oracles[best.t], assign, true, best.v)
+		refresh(best.t, best.v)
 		colBest[best.t] = cache.argminColumn(best.t, pending)
 		for t := 0; t < T; t++ {
 			if t != best.t && colBest[t].v == best.v {
@@ -162,7 +205,7 @@ func greedyRemoval(in Instance) (*Schedule, error) {
 			}
 		}
 	}
-	return NewSchedule(ModeRemoval, T, assign)
+	return nil
 }
 
 // newAssignment returns an all-unassigned (-1) slot-assignment vector.
@@ -195,6 +238,146 @@ func rangePending(lo, hi int) []int {
 		pending[i] = lo + i
 	}
 	return pending
+}
+
+// GreedySubset computes the greedy schedule over a sub-population:
+// sensors with present[v] == false receive the Absent assignment and
+// never enter any oracle, and the greedy runs over the survivors
+// exactly as Greedy would on a compacted instance (same floats, same
+// lowest-(v, t) tie-breaks — the pending-list scans simply skip the
+// absent IDs). A nil present schedules everyone, making
+// GreedySubset(in, nil) bit-identical to Greedy(in). This is the
+// incremental Repairer's ground truth: the from-scratch plan for the
+// current fleet, with stable sensor IDs.
+func GreedySubset(in Instance, present []bool) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if present == nil {
+		return Greedy(in)
+	}
+	if len(present) != in.N {
+		return nil, fmt.Errorf("core: present covers %d sensors, instance has %d", len(present), in.N)
+	}
+	T := in.Period.Slots()
+	removal := ModeFor(in.Period) == ModeRemoval
+	assign := newAssignment(in.N)
+	pending := make([]int, 0, in.N)
+	for v := 0; v < in.N; v++ {
+		if present[v] {
+			pending = append(pending, v)
+		} else {
+			assign[v] = Absent
+		}
+	}
+	oracles := make([]submodular.RemovalOracle, T)
+	for t := range oracles {
+		o := in.Factory()
+		if removal {
+			for _, v := range pending {
+				o.Add(v)
+			}
+		}
+		oracles[t] = o
+	}
+	cache := newMarginCache(in.N, T)
+	var err error
+	if removal {
+		for t := 0; t < T; t++ {
+			fillColumn(cache, t, oracles[t], assign, true)
+		}
+		err = runRemovalLoop(oracles, cache, assign, pending, func(t, changed int) {
+			refreshColumnAfter(cache, t, oracles[t], assign, true, changed)
+		})
+	} else {
+		for t := 0; t < T; t++ {
+			fillColumn(cache, t, oracles[t], assign, false)
+		}
+		err = runPlacementLoop(oracles, cache, assign, pending, func(t, changed int) {
+			refreshColumnAfter(cache, t, oracles[t], assign, false, changed)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if removal {
+		return NewSchedule(ModeRemoval, T, assign)
+	}
+	return NewSchedule(ModePlacement, T, assign)
+}
+
+// ReferenceGreedySubset is the uncached eager-scan counterpart of
+// GreedySubset — the seed-style reference the incremental edge-case
+// tests cross-check perturbed fleets against.
+func ReferenceGreedySubset(in Instance, present []bool) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if present == nil {
+		return ReferenceGreedy(in)
+	}
+	if len(present) != in.N {
+		return nil, fmt.Errorf("core: present covers %d sensors, instance has %d", len(present), in.N)
+	}
+	T := in.Period.Slots()
+	removal := ModeFor(in.Period) == ModeRemoval
+	assign := newAssignment(in.N)
+	live := 0
+	for v := 0; v < in.N; v++ {
+		if present[v] {
+			live++
+		} else {
+			assign[v] = Absent
+		}
+	}
+	oracles := make([]submodular.RemovalOracle, T)
+	for t := range oracles {
+		o := in.Factory()
+		if removal {
+			for v := 0; v < in.N; v++ {
+				if present[v] {
+					o.Add(v)
+				}
+			}
+		}
+		oracles[t] = o
+	}
+	for step := 0; step < live; step++ {
+		bestV, bestT := -1, -1
+		bestM := 0.0
+		first := true
+		for v := 0; v < in.N; v++ {
+			if assign[v] != -1 {
+				continue
+			}
+			for t := 0; t < T; t++ {
+				if removal {
+					if l := oracles[t].Loss(v); first || l < bestM {
+						bestV, bestT, bestM = v, t, l
+						first = false
+					}
+				} else {
+					if g := oracles[t].Gain(v); first || g > bestM {
+						bestV, bestT, bestM = v, t, g
+						first = false
+					}
+				}
+			}
+		}
+		if bestV < 0 {
+			return nil, fmt.Errorf("core: subset greedy found no candidate at step %d", step)
+		}
+		if removal {
+			oracles[bestT].Remove(bestV)
+		} else {
+			oracles[bestT].Add(bestV)
+		}
+		assign[bestV] = bestT
+	}
+	if removal {
+		return NewSchedule(ModeRemoval, T, assign)
+	}
+	return NewSchedule(ModePlacement, T, assign)
 }
 
 // ReferenceGreedy computes the same schedule as Greedy with the seed's

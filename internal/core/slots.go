@@ -27,7 +27,7 @@ func SlotOracles(in Instance, mode Mode, assign []int) ([]submodular.RemovalOrac
 	}
 	T := in.Period.Slots()
 	for v, t := range assign {
-		if t < -1 || t >= T {
+		if t != Absent && (t < -1 || t >= T) {
 			return nil, fmt.Errorf("core: sensor %d assigned to slot %d outside [0,%d)", v, t, T)
 		}
 	}
@@ -46,7 +46,9 @@ func SlotOracles(in Instance, mode Mode, assign []int) ([]submodular.RemovalOrac
 		for t := range oracles {
 			o := in.Factory()
 			for v := 0; v < in.N; v++ {
-				o.Add(v)
+				if assign[v] != Absent {
+					o.Add(v)
+				}
 			}
 			oracles[t] = o
 		}

@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// TestReplanBenchQuick is the fast CI gate over the replan benchmark:
+// a reduced sweep must produce a bit-identical initial plan, feasible
+// repaired schedules and gaps inside the bound on every row.
+func TestReplanBenchQuick(t *testing.T) {
+	fig, res, err := ReplanBench(ReplanConfig{
+		Sizes:     []int{1000},
+		PertFracs: []float64{0, 0.01},
+		Iters:     1,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig == nil || len(res.Groups) != 1 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	g := res.Groups[0]
+	if !g.InitIdentical {
+		t.Error("initial Repairer plan not bit-identical to Greedy")
+	}
+	if g.NsPlan <= 0 {
+		t.Errorf("plan time %d", g.NsPlan)
+	}
+	if len(g.Cases) != 2 {
+		t.Fatalf("got %d cases", len(g.Cases))
+	}
+	for _, c := range g.Cases {
+		if !c.SchedulesFeasible {
+			t.Errorf("kill=%d: repaired schedule infeasible", c.Killed)
+		}
+		if !c.GapWithinBound {
+			t.Errorf("kill=%d: gap %.3f%% beyond %.1f%%", c.Killed, c.GapPct, ReplanGapBoundPct)
+		}
+		if c.NsRepair <= 0 || c.NsFull <= 0 || c.Speedup <= 0 {
+			t.Errorf("kill=%d: degenerate timings %+v", c.Killed, c)
+		}
+		if c.Killed == 1 && c.Speedup < 1 {
+			t.Logf("note: single-sensor repair slower than full replan at n=1000 (speedup %.2f)", c.Speedup)
+		}
+	}
+	if err := (&ReplanConfig{Sizes: []int{10}}).defaults(); err == nil {
+		t.Error("tiny size accepted")
+	}
+	if err := (&ReplanConfig{PertFracs: []float64{0.9}}).defaults(); err == nil {
+		t.Error("oversized perturbation fraction accepted")
+	}
+}

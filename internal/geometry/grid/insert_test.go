@@ -1,0 +1,179 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tests for the dynamic overlay (Insert/Grow/WithinInto): queries over
+// an index grown by Insert must keep every invariant of a freshly built
+// one — ascending duplicate-free candidates that form a superset of the
+// items obliged to appear — regardless of whether the inserted items
+// fit the built geometry (in-box, reach ≤ built max) or degrade to
+// always-candidates.
+
+// TestInsertSupersetContract builds an index over a prefix of a random
+// population and Inserts the suffix, including items that violate the
+// built geometry (outside the bounding box, larger reach, non-finite),
+// then holds every query to the same structural invariants as Build.
+func TestInsertSupersetContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(100)
+		span := []float64{1, 10, 100}[rng.Intn(3)]
+		maxReach := span * []float64{0.01, 0.1, 0.5}[rng.Intn(3)]
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Pos:   Point{rng.Float64() * span, rng.Float64() * span},
+				Reach: rng.Float64() * maxReach,
+			}
+		}
+		nBuilt := 1 + rng.Intn(n)
+		ix := Build(items[:nBuilt])
+		all := append([]Item(nil), items[:nBuilt]...)
+		for _, it := range items[nBuilt:] {
+			// Perturb a third of the inserts into geometry violations the
+			// overlay must handle via the always-candidate path.
+			switch rng.Intn(6) {
+			case 0:
+				it.Pos.X += 3 * span // outside the built bounding box
+			case 1:
+				it.Reach = maxReach * 4 // beyond any built reach
+			}
+			id := ix.Insert(it)
+			if id != ix.Len()-1 {
+				t.Fatalf("Insert returned id %d, Len is %d", id, ix.Len())
+			}
+			all = append(all, it)
+		}
+		if ix.Len() != n {
+			t.Fatalf("Len = %d after inserts, want %d", ix.Len(), n)
+		}
+		if ix.Dynamic() != n-nBuilt {
+			t.Fatalf("Dynamic = %d, want %d", ix.Dynamic(), n-nBuilt)
+		}
+		for q := 0; q < 30; q++ {
+			checkQuery(t, all, ix, Point{
+				(rng.Float64()*3 - 1) * span, (rng.Float64()*3 - 1) * span,
+			})
+		}
+		for _, it := range all {
+			checkQuery(t, all, ix, it.Pos)
+		}
+	}
+}
+
+// TestInsertDifferentialSeeded is the strong form: every insert stays
+// inside the built geometry, so the overlay must be obliged to return
+// exactly the same covering items a brute-force scan finds — checked
+// via checkQuery over the full population at random points and at every
+// anchor, like TestCandidatesDifferentialSeeded.
+func TestInsertDifferentialSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(100)
+		span := []float64{1, 10, 100}[rng.Intn(3)]
+		maxReach := span * []float64{0.01, 0.1, 0.5}[rng.Intn(3)]
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Pos:   Point{rng.Float64() * span, rng.Float64() * span},
+				Reach: rng.Float64() * maxReach,
+			}
+		}
+		// Force the prefix to realize the full bounding box and maximum
+		// reach so every suffix insert is geometrically safe.
+		items[0] = Item{Pos: Point{0, 0}, Reach: maxReach}
+		items[1] = Item{Pos: Point{span, span}}
+		nBuilt := 2 + rng.Intn(n-2)
+		ix := Build(items[:nBuilt])
+		for _, it := range items[nBuilt:] {
+			ix.Insert(it)
+		}
+		for q := 0; q < 30; q++ {
+			checkQuery(t, items, ix, Point{
+				(rng.Float64()*1.2 - 0.1) * span, (rng.Float64()*1.2 - 0.1) * span,
+			})
+		}
+		for _, it := range items {
+			checkQuery(t, items, ix, it.Pos)
+			checkQuery(t, items, ix, Point{it.Pos.X + it.Reach, it.Pos.Y - it.Reach})
+		}
+	}
+}
+
+// TestInsertIntoDegenerateBuild exercises inserting into indexes built
+// from empty or fully-overflow populations, where the cell arithmetic
+// is degenerate (inv = 0, win = 0).
+func TestInsertIntoDegenerateBuild(t *testing.T) {
+	t.Run("empty-build", func(t *testing.T) {
+		ix := Build(nil)
+		items := []Item{{Pos: Point{1, 2}, Reach: 1}, {Pos: Point{5, 5}}}
+		for _, it := range items {
+			ix.Insert(it)
+		}
+		checkQuery(t, items, ix, Point{1, 2})
+		checkQuery(t, items, ix, Point{1.5, 2.5})
+		checkQuery(t, items, ix, Point{5, 5})
+	})
+	t.Run("overflow-build", func(t *testing.T) {
+		built := []Item{{Pos: Point{math.NaN(), 0}, Reach: 1}}
+		ix := Build(built)
+		items := append(append([]Item(nil), built...), Item{Pos: Point{3, 3}})
+		ix.Insert(items[1])
+		checkQuery(t, items, ix, Point{3, 3})
+		checkQuery(t, items, ix, Point{100, 100})
+	})
+}
+
+// TestWithinIntoSuperset pins the box-intersection query the
+// incremental incidence path uses: a grid over point targets queried
+// with a sensor's position and reach must return every target inside
+// the sensor's reach box (and with reach 0 must equal CandidatesInto).
+func TestWithinIntoSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		m := 5 + rng.Intn(150)
+		span := []float64{1, 50, 500}[rng.Intn(3)]
+		targets := make([]Item, m)
+		for i := range targets {
+			targets[i] = Item{Pos: Point{rng.Float64() * span, rng.Float64() * span}}
+		}
+		ix := Build(targets)
+		var buf []int32
+		for q := 0; q < 50; q++ {
+			p := Point{(rng.Float64()*1.4 - 0.2) * span, (rng.Float64()*1.4 - 0.2) * span}
+			reach := rng.Float64() * span * 0.3
+			buf = ix.WithinInto(buf, p, reach)
+			prev := int32(-1)
+			seen := make(map[int32]bool, len(buf))
+			for _, id := range buf {
+				if id <= prev {
+					t.Fatalf("WithinInto not strictly ascending: %v", buf)
+				}
+				prev = id
+				seen[id] = true
+			}
+			for i, it := range targets {
+				if math.Abs(it.Pos.X-p.X) <= reach && math.Abs(it.Pos.Y-p.Y) <= reach && !seen[int32(i)] {
+					t.Fatalf("target %d at %v inside reach %v of %v but missing (got %v)",
+						i, it.Pos, reach, p, buf)
+				}
+			}
+		}
+		// reach = 0 degenerates to the plain candidate query.
+		p := Point{rng.Float64() * span, rng.Float64() * span}
+		within := append([]int32(nil), ix.WithinInto(nil, p, 0)...)
+		cand := ix.CandidatesInto(nil, p)
+		if len(within) != len(cand) {
+			t.Fatalf("WithinInto(p, 0) len %d != CandidatesInto len %d", len(within), len(cand))
+		}
+		for i := range within {
+			if within[i] != cand[i] {
+				t.Fatalf("WithinInto(p, 0)[%d] = %d, CandidatesInto[%d] = %d", i, within[i], i, cand[i])
+			}
+		}
+	}
+}

@@ -132,6 +132,30 @@ func TestOracleHotPathAllocations(t *testing.T) {
 				}
 			}
 		})
+		t.Run(name+"/SparseBatchRefresh", func(t *testing.T) {
+			sg, okG := o.(SparseGainBatchRefresher)
+			sl, okL := o.(SparseLossBatchRefresher)
+			if !okG && !okL {
+				t.Skip("oracle has no batch sparse refresh (dense-coupling utility)")
+			}
+			// Same 0-alloc contract as the single-mutation form: the
+			// epoch-dedup scratch lives in the oracle, the changed list
+			// and column belong to the caller.
+			out := make([]float64, n)
+			changed := []int{2, 5, 11}
+			if okG {
+				o.(BulkGainer).BulkGain(out)
+				if a := testing.AllocsPerRun(200, func() { sg.SparseGainRefreshAll(changed, out) }); a != 0 {
+					t.Errorf("SparseGainRefreshAll allocated %v times per run, want 0", a)
+				}
+			}
+			if okL {
+				o.(BulkLosser).BulkLoss(out)
+				if a := testing.AllocsPerRun(200, func() { sl.SparseLossRefreshAll(changed, out) }); a != 0 {
+					t.Errorf("SparseLossRefreshAll allocated %v times per run, want 0", a)
+				}
+			}
+		})
 		t.Run(name+"/Bulk", func(t *testing.T) {
 			out := make([]float64, n)
 			bg, okG := o.(BulkGainer)

@@ -178,13 +178,16 @@ type CoverageOracle struct {
 }
 
 var (
-	_ RemovalOracle       = (*CoverageOracle)(nil)
-	_ BulkGainer          = (*CoverageOracle)(nil)
-	_ BulkLosser          = (*CoverageOracle)(nil)
-	_ StateCopier         = (*CoverageOracle)(nil)
-	_ ConcurrentReadSafe  = (*CoverageOracle)(nil)
-	_ SparseGainRefresher = (*CoverageOracle)(nil)
-	_ SparseLossRefresher = (*CoverageOracle)(nil)
+	_ RemovalOracle            = (*CoverageOracle)(nil)
+	_ BulkGainer               = (*CoverageOracle)(nil)
+	_ BulkLosser               = (*CoverageOracle)(nil)
+	_ StateCopier              = (*CoverageOracle)(nil)
+	_ ConcurrentReadSafe       = (*CoverageOracle)(nil)
+	_ SparseGainRefresher      = (*CoverageOracle)(nil)
+	_ SparseLossRefresher      = (*CoverageOracle)(nil)
+	_ SparseGainBatchRefresher = (*CoverageOracle)(nil)
+	_ SparseLossBatchRefresher = (*CoverageOracle)(nil)
+	_ AffectedLister           = (*CoverageOracle)(nil)
 )
 
 // Value implements Oracle.
@@ -294,6 +297,84 @@ func (o *CoverageOracle) SparseLossRefresh(changed int, out []float64) {
 		}
 	}
 	out[changed] = o.Loss(changed)
+}
+
+// SparseGainRefreshAll implements SparseGainBatchRefresher: one epoch,
+// one sweep over the union of the changed sensors' item rows — a
+// sensor covered by items of several changed sensors is recomputed
+// exactly once. Recompute-not-delta keeps every touched entry
+// bit-identical to a fresh Gain under the current state regardless of
+// how many mutations the batch applied.
+func (o *CoverageOracle) SparseGainRefreshAll(changed []int, out []float64) {
+	u := o.u
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: SparseGainRefreshAll buffer %d != ground size %d", len(out), u.n))
+	}
+	o.bumpEpoch()
+	for _, c := range changed {
+		checkElem(c, u.n)
+		items, _ := u.sensorItems.Row(c)
+		for _, item := range items {
+			sensors, _ := u.itemSensors.Row(int(item))
+			for _, v := range sensors {
+				if o.mark[v] == o.epoch {
+					continue
+				}
+				o.mark[v] = o.epoch
+				out[v] = o.Gain(int(v))
+			}
+		}
+	}
+	for _, c := range changed {
+		if o.mark[c] != o.epoch {
+			o.mark[c] = o.epoch
+			out[c] = o.Gain(c)
+		}
+	}
+}
+
+// SparseLossRefreshAll implements SparseLossBatchRefresher: the
+// removal-side dual of SparseGainRefreshAll.
+func (o *CoverageOracle) SparseLossRefreshAll(changed []int, out []float64) {
+	u := o.u
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: SparseLossRefreshAll buffer %d != ground size %d", len(out), u.n))
+	}
+	o.bumpEpoch()
+	for _, c := range changed {
+		checkElem(c, u.n)
+		items, _ := u.sensorItems.Row(c)
+		for _, item := range items {
+			sensors, _ := u.itemSensors.Row(int(item))
+			for _, v := range sensors {
+				if o.mark[v] == o.epoch {
+					continue
+				}
+				o.mark[v] = o.epoch
+				out[v] = o.Loss(int(v))
+			}
+		}
+	}
+	for _, c := range changed {
+		if o.mark[c] != o.epoch {
+			o.mark[c] = o.epoch
+			out[c] = o.Loss(c)
+		}
+	}
+}
+
+// AppendAffected implements AffectedLister: every sensor sharing an
+// item with v (v itself included when it covers anything), with
+// duplicates — callers deduplicate.
+func (o *CoverageOracle) AppendAffected(buf []int32, v int) []int32 {
+	u := o.u
+	checkElem(v, u.n)
+	items, _ := u.sensorItems.Row(v)
+	for _, item := range items {
+		sensors, _ := u.itemSensors.Row(int(item))
+		buf = append(buf, sensors...)
+	}
+	return buf
 }
 
 // Add implements Oracle.

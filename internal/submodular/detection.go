@@ -229,13 +229,16 @@ type DetectionOracle struct {
 }
 
 var (
-	_ RemovalOracle       = (*DetectionOracle)(nil)
-	_ BulkGainer          = (*DetectionOracle)(nil)
-	_ BulkLosser          = (*DetectionOracle)(nil)
-	_ StateCopier         = (*DetectionOracle)(nil)
-	_ ConcurrentReadSafe  = (*DetectionOracle)(nil)
-	_ SparseGainRefresher = (*DetectionOracle)(nil)
-	_ SparseLossRefresher = (*DetectionOracle)(nil)
+	_ RemovalOracle            = (*DetectionOracle)(nil)
+	_ BulkGainer               = (*DetectionOracle)(nil)
+	_ BulkLosser               = (*DetectionOracle)(nil)
+	_ StateCopier              = (*DetectionOracle)(nil)
+	_ ConcurrentReadSafe       = (*DetectionOracle)(nil)
+	_ SparseGainRefresher      = (*DetectionOracle)(nil)
+	_ SparseLossRefresher      = (*DetectionOracle)(nil)
+	_ SparseGainBatchRefresher = (*DetectionOracle)(nil)
+	_ SparseLossBatchRefresher = (*DetectionOracle)(nil)
+	_ AffectedLister           = (*DetectionOracle)(nil)
 )
 
 // refreshEff re-derives eff[t] after a surv/zeros update.
@@ -369,6 +372,86 @@ func (o *DetectionOracle) SparseLossRefresh(changed int, out []float64) {
 		}
 	}
 	out[changed] = o.Loss(changed)
+}
+
+// SparseGainRefreshAll implements SparseGainBatchRefresher: one epoch,
+// one sweep over the union of the changed sensors' target rows — a
+// sensor reachable from several changed sensors' footprints is
+// recomputed exactly once. Recompute-not-delta keeps every touched
+// entry bit-identical to a fresh Gain under the current state
+// regardless of how many mutations the batch applied.
+func (o *DetectionOracle) SparseGainRefreshAll(changed []int, out []float64) {
+	u := o.u
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: SparseGainRefreshAll buffer %d != ground size %d", len(out), u.n))
+	}
+	o.bumpEpoch()
+	for _, c := range changed {
+		checkElem(c, u.n)
+		ts, _ := u.sensorTargets.Row(c)
+		for _, t := range ts {
+			vs, _ := u.targetSensors.Row(int(t))
+			for _, v := range vs {
+				if o.mark[v] == o.epoch {
+					continue
+				}
+				o.mark[v] = o.epoch
+				out[v] = o.Gain(int(v))
+			}
+		}
+	}
+	// Degree-0 changed sensors are never visited by the row sweep; their
+	// entries still need the member-is-zero rewrite.
+	for _, c := range changed {
+		if o.mark[c] != o.epoch {
+			o.mark[c] = o.epoch
+			out[c] = o.Gain(c)
+		}
+	}
+}
+
+// SparseLossRefreshAll implements SparseLossBatchRefresher: the
+// removal-side dual of SparseGainRefreshAll.
+func (o *DetectionOracle) SparseLossRefreshAll(changed []int, out []float64) {
+	u := o.u
+	if len(out) != u.n {
+		panic(fmt.Sprintf("submodular: SparseLossRefreshAll buffer %d != ground size %d", len(out), u.n))
+	}
+	o.bumpEpoch()
+	for _, c := range changed {
+		checkElem(c, u.n)
+		ts, _ := u.sensorTargets.Row(c)
+		for _, t := range ts {
+			vs, _ := u.targetSensors.Row(int(t))
+			for _, v := range vs {
+				if o.mark[v] == o.epoch {
+					continue
+				}
+				o.mark[v] = o.epoch
+				out[v] = o.Loss(int(v))
+			}
+		}
+	}
+	for _, c := range changed {
+		if o.mark[c] != o.epoch {
+			o.mark[c] = o.epoch
+			out[c] = o.Loss(c)
+		}
+	}
+}
+
+// AppendAffected implements AffectedLister: every sensor sharing a
+// target with v (v itself included when it covers anything), with
+// duplicates — callers deduplicate.
+func (o *DetectionOracle) AppendAffected(buf []int32, v int) []int32 {
+	u := o.u
+	checkElem(v, u.n)
+	ts, _ := u.sensorTargets.Row(v)
+	for _, t := range ts {
+		vs, _ := u.targetSensors.Row(int(t))
+		buf = append(buf, vs...)
+	}
+	return buf
 }
 
 // Add implements Oracle.

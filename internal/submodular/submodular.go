@@ -140,6 +140,50 @@ type SparseLossRefresher interface {
 	SparseLossRefresh(changed int, out []float64)
 }
 
+// SparseGainBatchRefresher is the k-mutation form of
+// SparseGainRefresher, built for incremental replanning where a
+// perturbation touches several sensors at once.
+//
+// Contract: let out hold, for every ground-set element u, a value
+// bit-identical to Gain(u) under some earlier oracle state, and let
+// every mutation (Add/Remove) applied since that state involve only
+// elements of changed (each element any number of times).
+// SparseGainRefreshAll(changed, out) must rewrite out in place so that
+// out[u] is bit-identical to Gain(u) under the *current* state for
+// every u, sweeping the union of the changed elements' incidence rows
+// exactly once (epoch-deduplicated): an element sharing no target/item
+// with any changed element sums its marginal over per-target state
+// none of the mutations touched, so its entry is exact by definition.
+// Cost is one sweep over the union of the changed rows — O(Σ affected)
+// for a k-element perturbation instead of k separate sparse sweeps
+// with re-deduplication. Like the single-mutation form it may use
+// internal scratch and must not allocate.
+type SparseGainBatchRefresher interface {
+	SparseGainRefreshAll(changed []int, out []float64)
+}
+
+// SparseLossBatchRefresher is the removal-side dual of
+// SparseGainBatchRefresher: the same contract with Loss in place of
+// Gain (member entries carry losses, non-members 0).
+type SparseLossBatchRefresher interface {
+	SparseLossRefreshAll(changed []int, out []float64)
+}
+
+// AffectedLister is implemented by incidence-backed oracles that can
+// enumerate the damage front of a mutation: AppendAffected appends to
+// buf the ID of every element whose marginal a mutation of v could
+// change — for the CSR oracles, every element sharing at least one
+// target/item with v (v itself included when it has any incidence).
+// The result may contain duplicates; callers deduplicate. The
+// incremental replanning engine uses it to localize a perturbation's
+// dirty set instead of resweeping the fleet. Oracles with dense
+// coupling (every element affects every other) should not implement
+// the interface; callers must then treat the whole ground set as
+// affected.
+type AffectedLister interface {
+	AppendAffected(buf []int32, v int) []int32
+}
+
 // StateCopier is implemented by oracles that can adopt another
 // oracle's current set without allocating. CopyStateFrom overwrites
 // the receiver's state with src's and reports whether it succeeded;

@@ -211,6 +211,15 @@ type ShardedOptions struct {
 // quality accounting. Utility and UtilityBefore are evaluated on the
 // full global utility, directly comparable to Planner.PeriodUtility of
 // a global schedule — report the gap, don't hide it.
+//
+// Online replans stay shardable: the incremental Repairer's sweep uses
+// the exact same move discipline as the border-correction sweep that
+// produced this result (lift one sensor, strict re-argmax, ties keep
+// the current slot), so per-strip Repairer instances absorbing strip-
+// local perturbations compose with a final border sweep over the cuts
+// the same way the per-strip plans did. TestShardedRepairComposition
+// pins the facade-level contract; wiring per-strip Repairers into
+// shard.Plan itself is follow-up work (ROADMAP item 2 note).
 type ShardedResult struct {
 	Schedule                         *Schedule
 	RequestedShards, EffectiveShards int
