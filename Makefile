@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard bench-replan figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard bench-replan coold-e2e figures examples fuzz clean
 
 all: build vet test
 
@@ -85,6 +85,16 @@ bench-replan:
 	$(GO) test -run TestReplanBenchQuick -v ./internal/experiments/
 	$(GO) run ./cmd/coolbench -fig replan -quick
 
+# Planner-as-a-service gate: vet, then the whole coold stack — wire
+# unit tests, golden wire corpus, admission determinism, and the e2e
+# differential sessions (live client↔daemon bit-identical to direct
+# library calls) — under the race detector, then a 30s hostile-bytes
+# fuzz of the frame/request decoders.
+coold-e2e:
+	$(GO) vet ./internal/controlplane/ ./cmd/coold/
+	$(GO) test -race ./internal/controlplane/ ./cmd/coold/
+	$(GO) test ./internal/controlplane/ -fuzz FuzzWireDecode -fuzztime 30s
+
 # Regenerate every paper figure and ablation into results/.
 figures:
 	$(GO) run ./cmd/coolbench -fig all -out results/
@@ -104,6 +114,7 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzEngineEquivalence -fuzztime 30s
 	$(GO) test ./internal/shard/ -fuzz FuzzShardEquivalence -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzIncrementalEquivalence -fuzztime 30s
+	$(GO) test ./internal/controlplane/ -fuzz FuzzWireDecode -fuzztime 30s
 
 # Scope cleanup to generated artifacts only: `go clean -fuzzcache`
 # drops the cached fuzz corpora under GOCACHE, never the committed

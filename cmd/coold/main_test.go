@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cool/internal/controlplane"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, nil); err == nil {
+		t.Fatal("want flag parse error, got nil")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, &out, nil); err == nil {
+		t.Fatal("want listen error, got nil")
+	}
+}
+
+// TestRunServesTCP boots the daemon on an ephemeral port through the
+// real run() path and drives a submit → plan → query → list session
+// over TCP, then stops it through the test seam.
+func TestRunServesTCP(t *testing.T) {
+	var out bytes.Buffer
+	started := make(chan struct {
+		addr string
+		stop func()
+	}, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-jobs", "2", "-v"}, &out,
+			func(addr string, stop func()) {
+				started <- struct {
+					addr string
+					stop func()
+				}{addr, stop}
+			})
+	}()
+	boot := <-started
+	defer boot.stop()
+
+	cli, err := controlplane.Dial(boot.addr, "coold-test")
+	if err != nil {
+		t.Fatalf("dial %s: %v", boot.addr, err)
+	}
+	defer cli.Close()
+	if cli.Version() != controlplane.MaxVersion {
+		t.Fatalf("negotiated v%d, want v%d", cli.Version(), controlplane.MaxVersion)
+	}
+
+	spec := controlplane.DeploymentSpec{
+		Rho: 3,
+		Sensors: []controlplane.SensorSpec{
+			{X: 10, Y: 10, Range: 20},
+			{X: 30, Y: 10, Range: 20},
+			{X: 20, Y: 30, Range: 20},
+		},
+		Targets: []controlplane.TargetSpec{{X: 20, Y: 15}, {X: 22, Y: 25}},
+	}
+	sub, err := cli.Submit("acme", controlplane.SubmitRequest{Name: "tcp-field", Spec: spec})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	plan, err := cli.Plan("acme", controlplane.PlanRequest{Fingerprint: sub.Fingerprint})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if plan.Schedule == nil || plan.Utility <= 0 {
+		t.Fatalf("plan over TCP: %+v", plan)
+	}
+	rep, err := cli.Replan("acme", controlplane.ReplanRequest{
+		Fingerprint: sub.Fingerprint, Op: controlplane.ReplanKill, IDs: []int{1}, WithGap: true,
+	})
+	if err != nil {
+		t.Fatalf("replan: %v", err)
+	}
+	if rep.Gap == nil {
+		t.Fatal("replan: missing gap")
+	}
+	list, err := cli.List("acme")
+	if err != nil || len(list.Snapshots) != 1 || list.Snapshots[0].Fingerprint != sub.Fingerprint {
+		t.Fatalf("list: %+v, %v", list, err)
+	}
+
+	boot.stop()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned error after stop: %v", err)
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Fatalf("missing startup log in output: %q", out.String())
+	}
+}

@@ -1,0 +1,174 @@
+package controlplane
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client speaks the wire protocol to a coold server. Methods are safe
+// for concurrent use; requests on one client are serialized (the
+// protocol is strict request/response per connection — open more
+// clients for pipelining).
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	version byte
+	server  string
+}
+
+// Dial connects to a coold server over TCP and performs the handshake.
+func Dial(addr, clientName string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn, clientName)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient performs the Hello handshake over an existing connection
+// (e.g. one end of a net.Pipe for in-process serving) and returns the
+// session client.
+func NewClient(conn net.Conn, clientName string) (*Client, error) {
+	c := &Client{conn: conn, r: bufio.NewReader(conn)}
+	hello, err := encodeFrame(Version1, FrameHello, &Hello{MaxVersion: MaxVersion, Client: clientName})
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, hello); err != nil {
+		return nil, err
+	}
+	f, err := ReadFrame(c.r)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: handshake: %w", err)
+	}
+	switch f.Type {
+	case FrameHelloAck:
+		ack, err := DecodeHelloAck(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		c.version = ack.Version
+		c.server = ack.Server
+		return c, nil
+	case FrameError:
+		return nil, DecodeWireError(f.Payload)
+	default:
+		return nil, fmt.Errorf("%w: handshake answered with frame type %d", ErrBadFrameType, f.Type)
+	}
+}
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() byte { return c.version }
+
+// Server returns the server's self-identification from the handshake.
+func (c *Client) Server() string { return c.server }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the answer; FrameError
+// answers surface as *WireError.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, err := encodeFrame(c.version, FrameRequest, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(c.conn, f); err != nil {
+		return nil, err
+	}
+	ans, err := ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	switch ans.Type {
+	case FrameResponse:
+		return DecodeResponse(ans.Payload)
+	case FrameError:
+		return nil, DecodeWireError(ans.Payload)
+	default:
+		return nil, fmt.Errorf("%w: answered with frame type %d", ErrBadFrameType, ans.Type)
+	}
+}
+
+// Submit offers a deployment snapshot for admission.
+func (c *Client) Submit(tenant string, req SubmitRequest) (*SubmitResponse, error) {
+	resp, err := c.roundTrip(&Request{Op: OpSubmit, Tenant: tenant, Submit: &req})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Submit == nil {
+		return nil, fmt.Errorf("controlplane: submit answered without body")
+	}
+	return resp.Submit, nil
+}
+
+// Plan computes (or returns the committed) schedule of a snapshot.
+func (c *Client) Plan(tenant string, req PlanRequest) (*PlanResponse, error) {
+	resp, err := c.roundTrip(&Request{Op: OpPlan, Tenant: tenant, Plan: &req})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Plan == nil {
+		return nil, fmt.Errorf("controlplane: plan answered without body")
+	}
+	return resp.Plan, nil
+}
+
+// Replan applies one perturbation through the live session.
+func (c *Client) Replan(tenant string, req ReplanRequest) (*ReplanResponse, error) {
+	resp, err := c.roundTrip(&Request{Op: OpReplan, Tenant: tenant, Replan: &req})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Replan == nil {
+		return nil, fmt.Errorf("controlplane: replan answered without body")
+	}
+	return resp.Replan, nil
+}
+
+// Query reads deployment state without mutating it.
+func (c *Client) Query(tenant string, req QueryRequest) (*QueryResponse, error) {
+	resp, err := c.roundTrip(&Request{Op: OpQuery, Tenant: tenant, Query: &req})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Query == nil {
+		return nil, fmt.Errorf("controlplane: query answered without body")
+	}
+	return resp.Query, nil
+}
+
+// List enumerates the tenant's snapshots in admission order.
+func (c *Client) List(tenant string) (*ListResponse, error) {
+	resp, err := c.roundTrip(&Request{Op: OpList, Tenant: tenant, List: &ListRequest{}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.List == nil {
+		return nil, fmt.Errorf("controlplane: list answered without body")
+	}
+	return resp.List, nil
+}
+
+// Control changes serving state (suspend/resume/reset/limits) without
+// redeploy.
+func (c *Client) Control(tenant string, req ControlRequest) (*ControlResponse, error) {
+	resp, err := c.roundTrip(&Request{Op: OpControl, Tenant: tenant, Control: &req})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Control == nil {
+		return nil, fmt.Errorf("controlplane: control answered without body")
+	}
+	return resp.Control, nil
+}

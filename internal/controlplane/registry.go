@@ -1,0 +1,96 @@
+package controlplane
+
+import (
+	"sort"
+	"sync"
+)
+
+// Snapshot is one immutable, fingerprinted deployment snapshot. Once
+// registered it never changes: reconfiguration is a new snapshot with
+// the old one as Parent, so the registry's lineage chain is the full
+// provenance record for replay and audit.
+type Snapshot struct {
+	Tenant string
+	// Name is the human label from the submit request.
+	Name string
+	// Fingerprint is the SHA-256 identity of the normalized spec.
+	Fingerprint string
+	// Parent is the fingerprint of the snapshot this one derives from
+	// ("" for a root snapshot).
+	Parent string
+	// Seq is the global admission sequence number (audit order).
+	Seq uint64
+	// Spec is the normalized spec. Callers must not mutate it.
+	Spec DeploymentSpec
+}
+
+// Registry is the first stage of the control-plane composition order:
+// it owns the admitted snapshots per tenant, keyed by fingerprint.
+// Tenants are fully isolated — one tenant's snapshots are invisible to
+// (and cannot collide with) another's. Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]map[string]*Snapshot
+	seq     uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]map[string]*Snapshot)}
+}
+
+// Get returns the tenant's snapshot with the given fingerprint.
+func (r *Registry) Get(tenant, fingerprint string) (*Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap, ok := r.tenants[tenant][fingerprint]
+	return snap, ok
+}
+
+// Count returns the tenant's number of admitted snapshots.
+func (r *Registry) Count(tenant string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants[tenant])
+}
+
+// register installs the snapshot and stamps its admission sequence
+// number, or returns the already-registered snapshot when a concurrent
+// identical submit won the race (registration is idempotent on
+// fingerprint). It is the final admission step — rejected snapshots
+// never reach it, so rejections leave no registry residue.
+func (r *Registry) register(snap *Snapshot) (*Snapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byFP := r.tenants[snap.Tenant]
+	if byFP == nil {
+		byFP = make(map[string]*Snapshot)
+		r.tenants[snap.Tenant] = byFP
+	}
+	if existing, ok := byFP[snap.Fingerprint]; ok {
+		return existing, true
+	}
+	r.seq++
+	snap.Seq = r.seq
+	byFP[snap.Fingerprint] = snap
+	return snap, false
+}
+
+// List returns the tenant's snapshots in admission order.
+func (r *Registry) List(tenant string) []SnapshotInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]SnapshotInfo, 0, len(r.tenants[tenant]))
+	for _, snap := range r.tenants[tenant] {
+		out = append(out, SnapshotInfo{
+			Fingerprint: snap.Fingerprint,
+			Name:        snap.Name,
+			Parent:      snap.Parent,
+			Seq:         snap.Seq,
+			Sensors:     len(snap.Spec.Sensors),
+			Targets:     len(snap.Spec.Targets),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

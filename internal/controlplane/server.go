@@ -1,0 +1,548 @@
+package controlplane
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cool"
+	"cool/internal/parallel"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Limits are the initial admission limits (reconfigurable at
+	// runtime via ControlLimits).
+	Limits Limits
+	// MaxJobs bounds concurrently running planning/replanning jobs
+	// across all connections and tenants (<= 0 selects NumCPU, the
+	// internal/parallel convention). Excess jobs queue.
+	MaxJobs int
+	// Name identifies the daemon build in HelloAck ("coold/1.0").
+	Name string
+	// Logf, when non-nil, receives one line per admission and serving
+	// event.
+	Logf func(format string, args ...any)
+}
+
+// Server is the planner-as-a-service daemon core: the control plane
+// (registry → normalizer → admission) plus the serving data plane
+// (plan/replan/query over the wire protocol). One Server hosts many
+// tenants; each tenant's deployments are isolated — its own snapshots,
+// its own live sessions — and every session mutation is serialized per
+// deployment while distinct deployments plan concurrently, bounded by
+// the MaxJobs pool.
+type Server struct {
+	cfg  Config
+	reg  *Registry
+	adm  *Admission
+	jobs chan struct{}
+
+	mu     sync.Mutex
+	deps   map[depKey]*deployment
+	conns  map[net.Conn]struct{}
+	ln     net.Listener
+	closed bool
+}
+
+type depKey struct{ tenant, fingerprint string }
+
+// deployment is one tenant's live serving state for a snapshot: the
+// planner built at admission and, once plan/replan traffic arrives,
+// the incremental session. Its mutex serializes session mutation.
+type deployment struct {
+	mu        sync.Mutex
+	snap      *Snapshot
+	planner   *cool.Planner
+	inc       *cool.Incremental
+	suspended bool
+}
+
+// NewServer builds a server with the given config.
+func NewServer(cfg Config) *Server {
+	reg := NewRegistry()
+	if cfg.Name == "" {
+		cfg.Name = "coold/" + cool.Version
+	}
+	return &Server{
+		cfg:   cfg,
+		reg:   reg,
+		adm:   NewAdmission(reg, cfg.Limits),
+		jobs:  make(chan struct{}, parallel.Workers(cfg.MaxJobs)),
+		deps:  make(map[depKey]*deployment),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Registry exposes the snapshot registry (read-only use).
+func (s *Server) Registry() *Registry { return s.reg }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener fails or Close is
+// called (which returns nil).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("controlplane: server closed")
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close stops the server: the listener and every open connection are
+// closed. In-flight requests finish against closed writes.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	open := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range open {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// ServeConn serves one connection: the Hello handshake, then a
+// request/response loop. It is exported so in-process harnesses can
+// serve a net.Pipe end directly. The connection is closed on return.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
+	r := bufio.NewReader(conn)
+
+	writeErr := func(version byte, code ErrorCode, msg string) {
+		f, err := encodeFrame(version, FrameError, &WireError{Code: code, Message: msg})
+		if err == nil {
+			WriteFrame(conn, f) // best effort; the peer may be gone
+		}
+	}
+
+	// Handshake.
+	first, err := ReadFrame(r)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			writeErr(Version1, frameErrCode(err), err.Error())
+		}
+		return
+	}
+	if first.Type != FrameHello {
+		writeErr(Version1, CodeBadFrame, fmt.Sprintf("expected hello, got frame type %d", first.Type))
+		return
+	}
+	hello, err := DecodeHello(first.Payload)
+	if err != nil {
+		writeErr(Version1, CodeBadFrame, err.Error())
+		return
+	}
+	version, err := NegotiateVersion(hello.MaxVersion)
+	if err != nil {
+		writeErr(Version1, CodeBadVersion, err.Error())
+		return
+	}
+	ack, err := encodeFrame(version, FrameHelloAck, &HelloAck{Version: version, Server: s.cfg.Name})
+	if err != nil || WriteFrame(conn, ack) != nil {
+		return
+	}
+
+	// Request loop.
+	for {
+		f, err := ReadFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				writeErr(version, frameErrCode(err), err.Error())
+			}
+			return
+		}
+		if f.Type != FrameRequest {
+			writeErr(version, CodeBadFrame, fmt.Sprintf("expected request, got frame type %d", f.Type))
+			return
+		}
+		req, err := DecodeRequest(f.Payload)
+		if err != nil {
+			// The framing is intact — answer and keep the connection.
+			writeErr(version, CodeBadRequest, err.Error())
+			continue
+		}
+		resp, werr := s.handle(req)
+		var out Frame
+		if werr != nil {
+			out, err = encodeFrame(version, FrameError, werr)
+		} else {
+			out, err = encodeFrame(version, FrameResponse, resp)
+		}
+		if err != nil {
+			writeErr(version, CodeInternal, err.Error())
+			continue
+		}
+		if err := WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// frameErrCode maps a wire decoding error to its typed code.
+func frameErrCode(err error) ErrorCode {
+	if errors.Is(err, ErrBadVersion) {
+		return CodeBadVersion
+	}
+	return CodeBadFrame
+}
+
+// handle dispatches one request. All engine work happens here, bounded
+// by the jobs pool; the connection loop stays free of planning cost.
+func (s *Server) handle(req *Request) (*Response, *WireError) {
+	switch req.Op {
+	case OpSubmit:
+		return s.handleSubmit(req.Tenant, req.Submit)
+	case OpPlan:
+		return s.handlePlan(req.Tenant, req.Plan)
+	case OpReplan:
+		return s.handleReplan(req.Tenant, req.Replan)
+	case OpQuery:
+		return s.handleQuery(req.Tenant, req.Query)
+	case OpList:
+		return &Response{Op: OpList, List: &ListResponse{Snapshots: s.reg.List(req.Tenant)}}, nil
+	case OpControl:
+		return s.handleControl(req.Tenant, req.Control)
+	}
+	return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+func (s *Server) handleSubmit(tenant string, sub *SubmitRequest) (*Response, *WireError) {
+	snap, planner, resubmitted, werr := s.adm.Admit(tenant, sub)
+	if werr != nil {
+		s.logf("submit tenant=%s rejected: %s: %s", tenant, werr.Code, werr.Message)
+		return nil, werr
+	}
+	if planner != nil {
+		// Install the serving handle unless a concurrent identical
+		// submit already did.
+		key := depKey{tenant, snap.Fingerprint}
+		s.mu.Lock()
+		if _, ok := s.deps[key]; !ok {
+			s.deps[key] = &deployment{snap: snap, planner: planner}
+		}
+		s.mu.Unlock()
+	}
+	s.logf("submit tenant=%s fp=%.12s name=%q sensors=%d targets=%d seq=%d resubmitted=%v",
+		tenant, snap.Fingerprint, snap.Name, len(snap.Spec.Sensors), len(snap.Spec.Targets), snap.Seq, resubmitted)
+	return &Response{Op: OpSubmit, Submit: &SubmitResponse{
+		Fingerprint: snap.Fingerprint,
+		Seq:         snap.Seq,
+		Resubmitted: resubmitted,
+		Sensors:     len(snap.Spec.Sensors),
+		Targets:     len(snap.Spec.Targets),
+	}}, nil
+}
+
+// deployment resolves the serving handle for an admitted snapshot,
+// building the planner lazily when the handle is missing (e.g. the
+// registering connection lost the install race). Deterministic: the
+// lazily built planner is the same construction admission performed.
+func (s *Server) deployment(tenant, fingerprint string) (*deployment, *WireError) {
+	snap, ok := s.reg.Get(tenant, fingerprint)
+	if !ok {
+		return nil, &WireError{Code: CodeNotFound,
+			Message: fmt.Sprintf("no snapshot %q for tenant", fingerprint)}
+	}
+	key := depKey{tenant, fingerprint}
+	s.mu.Lock()
+	d, ok := s.deps[key]
+	s.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	planner, err := BuildPlanner(snap.Spec)
+	if err != nil {
+		return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+	}
+	s.mu.Lock()
+	if existing, ok := s.deps[key]; ok {
+		d = existing
+	} else {
+		d = &deployment{snap: snap, planner: planner}
+		s.deps[key] = d
+	}
+	s.mu.Unlock()
+	return d, nil
+}
+
+// acquireJob takes one slot of the bounded planning pool.
+func (s *Server) acquireJob() func() {
+	s.jobs <- struct{}{}
+	return func() { <-s.jobs }
+}
+
+// ensureInc establishes the live incremental session (the initial plan
+// is bit-identical to Planner.Greedy). Callers hold d.mu.
+func (d *deployment) ensureInc() error {
+	if d.inc != nil {
+		return nil
+	}
+	inc, err := d.planner.Incremental()
+	if err != nil {
+		return err
+	}
+	d.inc = inc
+	return nil
+}
+
+func (s *Server) handlePlan(tenant string, plan *PlanRequest) (*Response, *WireError) {
+	d, werr := s.deployment(tenant, plan.Fingerprint)
+	if werr != nil {
+		return nil, werr
+	}
+	release := s.acquireJob()
+	defer release()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.suspended {
+		return nil, &WireError{Code: CodeSuspended, Message: "deployment suspended"}
+	}
+	engine := plan.Engine
+	if engine == "" {
+		engine = EngineIncremental
+	}
+	var (
+		sched   *cool.Schedule
+		utility float64
+		err     error
+	)
+	switch engine {
+	case EngineIncremental:
+		if err = d.ensureInc(); err == nil {
+			if sched, err = d.inc.Schedule(); err == nil {
+				utility = d.inc.Utility()
+			}
+		}
+	case EngineGreedy:
+		if sched, err = d.planner.Greedy(); err == nil {
+			utility = d.planner.PeriodUtility(sched)
+		}
+	case EngineLazy:
+		if sched, err = d.planner.LazyGreedy(); err == nil {
+			utility = d.planner.PeriodUtility(sched)
+		}
+	case EngineParallel:
+		if sched, err = d.planner.ParallelGreedy(plan.Workers); err == nil {
+			utility = d.planner.PeriodUtility(sched)
+		}
+	default:
+		return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("unknown engine %q", engine)}
+	}
+	if err != nil {
+		return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+	}
+	s.logf("plan tenant=%s fp=%.12s engine=%s utility=%g", tenant, plan.Fingerprint, engine, utility)
+	return &Response{Op: OpPlan, Plan: &PlanResponse{
+		Engine:   engine,
+		Schedule: sched,
+		Utility:  utility,
+		Mode:     sched.Mode().String(),
+		Slots:    sched.Period(),
+	}}, nil
+}
+
+func (s *Server) handleReplan(tenant string, rep *ReplanRequest) (*Response, *WireError) {
+	d, werr := s.deployment(tenant, rep.Fingerprint)
+	if werr != nil {
+		return nil, werr
+	}
+	release := s.acquireJob()
+	defer release()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.suspended {
+		return nil, &WireError{Code: CodeSuspended, Message: "deployment suspended"}
+	}
+	if err := d.ensureInc(); err != nil {
+		return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+	}
+	var (
+		st  cool.RepairStats
+		err error
+	)
+	switch rep.Op {
+	case ReplanKill:
+		st, err = d.inc.KillSensors(rep.IDs)
+	case ReplanDeploy:
+		st, err = d.inc.DeploySensors(rep.IDs)
+	case ReplanDrift:
+		st, err = d.inc.UpdateRho(rep.Rho)
+	default:
+		return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("unknown replan op %q", rep.Op)}
+	}
+	if err != nil {
+		return nil, &WireError{Code: CodeBadRequest, Message: err.Error()}
+	}
+	resp := &ReplanResponse{
+		Changed:       st.Changed,
+		Dirty:         st.Dirty,
+		Rounds:        st.Rounds,
+		Moves:         st.Moves,
+		Full:          st.Full,
+		UtilityBefore: st.UtilityBefore,
+		Utility:       st.Utility,
+	}
+	if rep.WithGap {
+		gap, err := d.inc.Gap()
+		if err != nil {
+			return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+		}
+		resp.Gap = &gap
+	}
+	if rep.WithSchedule {
+		sched, err := d.inc.Schedule()
+		if err != nil {
+			return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+		}
+		resp.Schedule = sched
+	}
+	s.logf("replan tenant=%s fp=%.12s op=%s changed=%d dirty=%d moves=%d utility=%g",
+		tenant, rep.Fingerprint, rep.Op, st.Changed, st.Dirty, st.Moves, st.Utility)
+	return &Response{Op: OpReplan, Replan: resp}, nil
+}
+
+func (s *Server) handleQuery(tenant string, q *QueryRequest) (*Response, *WireError) {
+	d, werr := s.deployment(tenant, q.Fingerprint)
+	if werr != nil {
+		return nil, werr
+	}
+	if q.What == QueryStatus {
+		// Status works even while suspended — it is how an operator
+		// sees the suspension.
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		period := d.planner.Period()
+		st := &StatusInfo{
+			Fingerprint: d.snap.Fingerprint,
+			Name:        d.snap.Name,
+			Parent:      d.snap.Parent,
+			Seq:         d.snap.Seq,
+			Mode:        "",
+			Slots:       period.Slots(),
+			Rho:         period.Rho(),
+			Present:     len(d.snap.Spec.Sensors),
+			Suspended:   d.suspended,
+			Live:        d.inc != nil,
+		}
+		if d.inc != nil {
+			st.Mode = d.inc.Mode().String()
+			st.Slots = d.inc.Period().Slots()
+			st.Rho = d.inc.Period().Rho()
+			st.Present = d.inc.NumPresent()
+		}
+		return &Response{Op: OpQuery, Query: &QueryResponse{Status: st}}, nil
+	}
+	release := s.acquireJob()
+	defer release()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.suspended {
+		return nil, &WireError{Code: CodeSuspended, Message: "deployment suspended"}
+	}
+	if err := d.ensureInc(); err != nil {
+		return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+	}
+	out := &QueryResponse{}
+	switch q.What {
+	case QuerySchedule:
+		sched, err := d.inc.Schedule()
+		if err != nil {
+			return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+		}
+		out.Schedule = sched
+	case QueryUtility:
+		u := d.inc.Utility()
+		out.Utility = &u
+	case QueryGap:
+		gap, err := d.inc.Gap()
+		if err != nil {
+			return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+		}
+		out.Gap = &gap
+	default:
+		return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("unknown query %q", q.What)}
+	}
+	return &Response{Op: OpQuery, Query: out}, nil
+}
+
+func (s *Server) handleControl(tenant string, ctl *ControlRequest) (*Response, *WireError) {
+	switch ctl.Op {
+	case ControlLimits:
+		var l Limits
+		if ctl.Limits != nil {
+			l = *ctl.Limits
+		}
+		eff := s.adm.SetLimits(l)
+		s.logf("control tenant=%s limits=%+v", tenant, eff)
+		return &Response{Op: OpControl, Control: &ControlResponse{Limits: &eff}}, nil
+	case ControlSuspend, ControlResume, ControlReset:
+		d, werr := s.deployment(tenant, ctl.Fingerprint)
+		if werr != nil {
+			return nil, werr
+		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		switch ctl.Op {
+		case ControlSuspend:
+			d.suspended = true
+		case ControlResume:
+			d.suspended = false
+		case ControlReset:
+			d.inc = nil
+		}
+		s.logf("control tenant=%s fp=%.12s op=%s", tenant, ctl.Fingerprint, ctl.Op)
+		return &Response{Op: OpControl, Control: &ControlResponse{Suspended: d.suspended}}, nil
+	}
+	return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("unknown control op %q", ctl.Op)}
+}

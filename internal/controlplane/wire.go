@@ -1,0 +1,160 @@
+// Package controlplane is the serving layer of the library: it owns
+// deployments as immutable, fingerprinted snapshots flowing through a
+// fixed composition order — registry → normalizer/validator →
+// admission — and serves plan/replan/query traffic over a small
+// versioned length-prefixed wire protocol. The daemon built on it
+// (cmd/coold) is a transparent transport over the fuzz-locked planning
+// engines: the e2e differential harness asserts that every response is
+// bit-identical to the corresponding direct Planner/Incremental call.
+//
+// The module decomposition (registry, normalizer, admission in a fixed
+// order; data plane decoupled from the control connection; start/stop/
+// reconfigure without redeploy) follows the control-plane guides
+// referenced in SNIPPETS.md; see DESIGN.md §5.8.
+package controlplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol versions. Every frame carries an explicit version byte so
+// that incompatible peers fail with a typed error instead of a garbled
+// stream; the Hello handshake negotiates the session version downward
+// from the client's maximum.
+const (
+	// Version1 is the initial wire protocol: 6-byte frame header
+	// (version, type, big-endian uint32 payload length) followed by a
+	// JSON payload.
+	Version1 byte = 1
+	// MinVersion and MaxVersion bound the versions this build speaks.
+	MinVersion byte = Version1
+	MaxVersion byte = Version1
+)
+
+// FrameType tags the payload carried by one frame.
+type FrameType byte
+
+// Frame types. Error frames are first-class ("typed errors"): a peer
+// that cannot satisfy a request answers FrameError with a machine-
+// readable code instead of closing the connection.
+const (
+	// FrameHello opens a session: client → server, carries Hello.
+	FrameHello FrameType = 1
+	// FrameHelloAck completes the handshake: server → client, HelloAck.
+	FrameHelloAck FrameType = 2
+	// FrameRequest carries a Request envelope.
+	FrameRequest FrameType = 3
+	// FrameResponse carries a Response envelope.
+	FrameResponse FrameType = 4
+	// FrameError carries a WireError.
+	FrameError FrameType = 5
+)
+
+// maxFrameType is the highest FrameType this build understands.
+const maxFrameType = FrameError
+
+// headerLen is the fixed frame header size: version byte, type byte,
+// uint32 big-endian payload length.
+const headerLen = 6
+
+// MaxFrameBytes bounds one frame's payload. The length field is
+// attacker-controlled bytes off the network, so it is validated before
+// any allocation — mirroring the core.MaxPeriod decoder fix — and a
+// hostile 0xFFFFFFFF length errors instead of attempting a 4 GiB
+// allocation. 64 MiB comfortably fits a 10⁵-sensor snapshot.
+const MaxFrameBytes = 1 << 26
+
+// Wire decoding errors. ReadFrame never panics on hostile input; it
+// returns one of these (or an io error) so servers can answer with the
+// matching typed error frame.
+var (
+	// ErrBadVersion reports a frame whose version byte is outside
+	// [MinVersion, MaxVersion].
+	ErrBadVersion = errors.New("controlplane: unsupported protocol version")
+	// ErrBadFrameType reports an unknown frame type byte.
+	ErrBadFrameType = errors.New("controlplane: unknown frame type")
+	// ErrFrameTooLarge reports a length field beyond MaxFrameBytes.
+	ErrFrameTooLarge = errors.New("controlplane: frame exceeds MaxFrameBytes")
+	// ErrTruncatedFrame reports a frame cut short of its declared
+	// length (or a truncated header).
+	ErrTruncatedFrame = errors.New("controlplane: truncated frame")
+)
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Version byte
+	Type    FrameType
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame to dst and returns the
+// extended slice. Encoding is the inverse of ReadFrame byte for byte;
+// the golden wire corpus pins it.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = append(dst, f.Version, byte(f.Type))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	return append(dst, f.Payload...)
+}
+
+// WriteFrame encodes the frame onto w. Frames above MaxFrameBytes are
+// refused symmetrically with the read side.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrameBytes {
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, len(f.Payload))
+	}
+	_, err := w.Write(AppendFrame(make([]byte, 0, headerLen+len(f.Payload)), f))
+	return err
+}
+
+// ReadFrame decodes one frame from r. A clean EOF before any header
+// byte returns io.EOF (the peer closed between frames); any other
+// truncation returns ErrTruncatedFrame. The version byte, type byte
+// and length field are validated before the payload is allocated, so
+// hostile input errors — it never panics and never allocates beyond
+// MaxFrameBytes.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: header: %v", ErrTruncatedFrame, err)
+	}
+	f := Frame{Version: hdr[0], Type: FrameType(hdr[1])}
+	if f.Version < MinVersion || f.Version > MaxVersion {
+		return Frame{}, fmt.Errorf("%w: version %d (this build speaks %d..%d)",
+			ErrBadVersion, f.Version, MinVersion, MaxVersion)
+	}
+	if f.Type == 0 || f.Type > maxFrameType {
+		return Frame{}, fmt.Errorf("%w: type %d", ErrBadFrameType, byte(f.Type))
+	}
+	n := binary.BigEndian.Uint32(hdr[2:])
+	if n > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("%w: declared %d bytes", ErrFrameTooLarge, n)
+	}
+	if n == 0 {
+		return f, nil
+	}
+	f.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: payload: declared %d bytes: %v", ErrTruncatedFrame, n, err)
+	}
+	return f, nil
+}
+
+// NegotiateVersion picks the session version for a client maximum:
+// the highest version both peers speak, or an error when the ranges
+// do not intersect. Deterministic by construction.
+func NegotiateVersion(clientMax byte) (byte, error) {
+	if clientMax < MinVersion {
+		return 0, fmt.Errorf("%w: client max %d below server min %d",
+			ErrBadVersion, clientMax, MinVersion)
+	}
+	if clientMax > MaxVersion {
+		return MaxVersion, nil
+	}
+	return clientMax, nil
+}
