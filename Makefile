@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard bench-replan coold-e2e figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard bench-replan bench-lifetime coold-e2e figures examples fuzz clean
 
 all: build vet test
 
@@ -85,6 +85,15 @@ bench-replan:
 	$(GO) test -run TestReplanBenchQuick -v ./internal/experiments/
 	$(GO) run ./cmd/coolbench -fig replan -quick
 
+# Cross-objective smoke pass: vet, then the bench's own verdict gate
+# (TestLifetimeBenchQuick asserts feasibility on every row, the
+# exact-reference cross-check and the utility-objective comparison),
+# then the quick cross-objective sweep that writes BENCH_lifetime.json.
+bench-lifetime:
+	$(GO) vet ./...
+	$(GO) test -run TestLifetimeBench -v ./internal/experiments/
+	$(GO) run ./cmd/coolbench -fig lifetime -quick
+
 # Planner-as-a-service gate: vet, then the whole coold stack — wire
 # unit tests, golden wire corpus, admission determinism, and the e2e
 # differential sessions (live client↔daemon bit-identical to direct
@@ -115,6 +124,7 @@ fuzz:
 	$(GO) test ./internal/shard/ -fuzz FuzzShardEquivalence -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzIncrementalEquivalence -fuzztime 30s
 	$(GO) test ./internal/controlplane/ -fuzz FuzzWireDecode -fuzztime 30s
+	$(GO) test ./internal/lifetime/ -fuzz FuzzLifetimeFeasibility -fuzztime 30s
 
 # Scope cleanup to generated artifacts only: `go clean -fuzzcache`
 # drops the cached fuzz corpora under GOCACHE, never the committed

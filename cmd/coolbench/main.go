@@ -31,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("coolbench", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|kernels|shard|replan|all")
+		fig     = fs.String("fig", "all", "experiment: 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|kernels|shard|replan|lifetime|all")
 		outDir  = fs.String("out", "", "directory for CSV output (omit to skip CSV)")
 		quick   = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		chart   = fs.Bool("chart", false, "also render ASCII charts")
@@ -287,8 +287,22 @@ func collect(which string, quick bool, seed uint64, workers int) ([]*experiments
 		out = append(out, f)
 		benches = append(benches, benchOutput{name: "replan", data: res})
 	}
+	if want("lifetime") {
+		cfg := experiments.LifetimeConfig{Seed: seed}
+		if quick {
+			cfg.Sensors, cfg.Targets = 8, 5
+			cfg.ScaleUp = 4
+			cfg.Horizon = 8
+		}
+		f, res, err := experiments.LifetimeBench(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, f)
+		benches = append(benches, benchOutput{name: "lifetime", data: res})
+	}
 	if len(out) == 0 {
-		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|kernels|shard|replan|all)", which)
+		return nil, nil, fmt.Errorf("unknown experiment %q (want 7|8|9|ablation|random|sensitivity|extensions|parallel|memlayout|grid|netsim|kernels|shard|replan|lifetime|all)", which)
 	}
 	return out, benches, nil
 }

@@ -238,3 +238,43 @@ func TestRunGridBenchWritesJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestRunLifetimeBenchWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "lifetime", "-quick", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lifetime-bench") {
+		t.Errorf("output missing lifetime-bench figure:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_lifetime.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Groups []struct {
+			Name                string           `json:"name"`
+			ExactRan            bool             `json:"exact_ran"`
+			SchedulesFeasible   bool             `json:"schedules_feasible"`
+			ExactIsMax          bool             `json:"exact_is_max"`
+			PlannersBeatUtility bool             `json:"planners_beat_utility"`
+			Rows                []map[string]any `json:"rows"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_lifetime.json not valid JSON: %v", err)
+	}
+	if len(res.Groups) != 5 {
+		t.Fatalf("quick lifetime bench has %d groups, want 5", len(res.Groups))
+	}
+	for _, g := range res.Groups {
+		if !g.SchedulesFeasible || !g.ExactIsMax || !g.PlannersBeatUtility {
+			t.Errorf("%s: verdicts %v/%v/%v, want all true",
+				g.Name, g.SchedulesFeasible, g.ExactIsMax, g.PlannersBeatUtility)
+		}
+		if len(g.Rows) < 3 {
+			t.Errorf("%s: only %d rows", g.Name, len(g.Rows))
+		}
+	}
+}

@@ -46,6 +46,10 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		schedFile = fs.String("schedule", "", "load a JSON schedule (from coolsched -save) instead of computing one")
 		loop      = fs.Bool("loop", false, "closed-loop mode: Markov weather, per-day pattern estimation and re-planning")
+		life      = fs.String("lifetime", "", "lifetime-objective mode: plan sustained coverage with hef|strip-cover|lifetime-exact instead of simulating the utility objective")
+		horizon   = fs.Int("horizon", 0, "lifetime mode: planning horizon in slots (0 selects 4 charging periods)")
+		kcov      = fs.Int("k", 1, "lifetime mode: per-target coverage requirement")
+		battery   = fs.Float64("battery", 1, "lifetime mode: per-sensor battery capacity in active-slot units")
 		reps      = fs.Int("reps", 1, "Monte-Carlo replications (>1 reports a mean with a 95% CI)")
 		workers   = fs.Int("workers", 0, "worker goroutines for planning and Monte-Carlo runs (<=0 selects NumCPU)")
 		radio     = fs.Bool("radio", false, "disseminate the schedule over the simulated lossy radio network before running")
@@ -64,6 +68,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *loop {
 		return runClosedLoop(out, *n, *m, *field, *radius, *p, *days, *seed)
+	}
+	if *life != "" {
+		return runLifetime(out, *life, *n, *m, *field, *radius, *rho, *horizon, *kcov, *battery, *seed)
 	}
 
 	net, err := cool.Deploy(cool.DeployConfig{
@@ -290,6 +297,76 @@ func disseminate(out io.Writer, net *cool.Network, sched *cool.Schedule, loss, r
 	sent, delivered, dropped := medium.Stats()
 	fmt.Fprintf(out, "schedule disseminated to %d nodes in %d ticks (loss %.0f%%): %d sent, %d delivered, %d dropped\n",
 		len(sensors), ticks, loss*100, sent, delivered, dropped)
+	return nil
+}
+
+// runLifetime plans the coverage-lifetime objective: how many slots
+// the fleet can keep every target k-covered under per-sensor battery
+// budgets and a Markov-weather harvest envelope, using the requested
+// competing planner through the unified Plan API.
+func runLifetime(out io.Writer, alg string, n, m int, field, radius, rho float64, horizon, k int, battery float64, seed uint64) error {
+	net, err := cool.Deploy(cool.DeployConfig{
+		Field:   cool.NewField(field),
+		Sensors: n,
+		Targets: m,
+		Range:   radius,
+	}, seed)
+	if err != nil {
+		return err
+	}
+	util, err := cool.NewTargetCountUtility(net)
+	if err != nil {
+		return err
+	}
+	period, err := cool.PeriodFromRho(rho)
+	if err != nil {
+		return err
+	}
+	planner, err := cool.NewPlanner(util, period)
+	if err != nil {
+		return err
+	}
+	if horizon <= 0 {
+		horizon = 4 * period.Slots()
+	}
+	// One weather class per slot: the harvest envelope the schedule
+	// must survive, rain streaks included.
+	weather, err := cool.WeatherSequence(cool.DefaultWeatherModel(), cool.WeatherSunny, horizon, seed)
+	if err != nil {
+		return err
+	}
+	capacity := make([]float64, n)
+	for i := range capacity {
+		capacity[i] = battery
+	}
+	res, err := planner.Plan(cool.PlanRequest{
+		Algorithm: cool.Algorithm(alg),
+		Objective: cool.ObjectiveLifetime,
+		Lifetime: &cool.LifetimeOptions{
+			Horizon:  horizon,
+			K:        k,
+			Capacity: capacity,
+			Weather:  weather,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	lr := res.Lifetime
+	var active int
+	for t := 0; t < lr.Schedule.Slots(); t++ {
+		active += len(lr.Schedule.ActiveAt(t))
+	}
+	fmt.Fprintf(out, "lifetime objective, algorithm=%s: %d sensors, %d targets, k=%d, battery=%.1f slots\n",
+		res.Algorithm, n, m, k, battery)
+	fmt.Fprintf(out, "sustained coverage for %d of %d slots\n", lr.Lifetime, lr.Horizon)
+	if lr.Groups > 0 {
+		fmt.Fprintf(out, "cover groups: %d\n", lr.Groups)
+	}
+	if lr.Lifetime > 0 {
+		fmt.Fprintf(out, "mean active sensors per covered slot: %.2f\n",
+			float64(active)/float64(lr.Lifetime))
+	}
 	return nil
 }
 

@@ -161,3 +161,36 @@ func TestRunMonteCarloReps(t *testing.T) {
 		}
 	}
 }
+
+func TestRunLifetimeMode(t *testing.T) {
+	for _, alg := range []string{"hef", "strip-cover"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-n", "25", "-m", "5", "-field", "200", "-range", "80",
+			"-lifetime", alg, "-battery", "2",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		out := buf.String()
+		for _, want := range []string{"lifetime objective", "algorithm=" + alg, "sustained coverage for"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q:\n%s", alg, want, out)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	err := run([]string{
+		"-n", "6", "-m", "2", "-field", "200", "-range", "150",
+		"-lifetime", "lifetime-exact", "-battery", "2", "-horizon", "6", "-k", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k=2") {
+		t.Errorf("exact k=2 output wrong:\n%s", buf.String())
+	}
+	if err := run([]string{"-n", "10", "-m", "2", "-lifetime", "warp-drive"}, &buf); err == nil {
+		t.Error("unknown lifetime algorithm accepted")
+	}
+}

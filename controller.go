@@ -25,6 +25,11 @@ type ClosedLoopOptions struct {
 	// Estimate runs the full trace-estimation pipeline per window
 	// instead of using the known per-weather pattern.
 	Estimate bool
+	// Panels gives per-sensor solar panel counts (nil = a homogeneous
+	// single-panel fleet). Mixed counts switch the loop to the
+	// heterogeneous path: per-sensor periods, heterogeneous greedy
+	// planning, per-sensor charging.
+	Panels []int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -44,6 +49,7 @@ func RunClosedLoop(u Utility, weather []Weather, opts ClosedLoopOptions) (*Close
 		Weather:        weather,
 		SlotsPerWindow: opts.SlotsPerWindow,
 		Estimate:       opts.Estimate,
+		Panels:         opts.Panels,
 		Seed:           opts.Seed,
 	})
 }

@@ -459,6 +459,60 @@ func TestRunClosedLoopFacade(t *testing.T) {
 	}
 }
 
+// TestRunClosedLoopHeteroStreak combines both closed-loop extensions
+// through the facade: a mixed-panel fleet living through a weather
+// sequence with an injected rain streak.
+func TestRunClosedLoopHeteroStreak(t *testing.T) {
+	net := deployTestNetwork(t, 8, 3)
+	u, err := NewDetectionUtility(net, FixedProb(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weather, err := WeatherSequence(DefaultWeatherModel(), WeatherSunny, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weather, err = InjectWeatherStreak(weather, 2, 2, WeatherRain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ClosedLoopOptions{
+		Targets: 3,
+		Panels:  []int{1, 2, 1, 2, 1, 2, 1, 2},
+		Seed:    8,
+	}
+	res, err := RunClosedLoop(u, weather, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 6 {
+		t.Fatalf("windows = %d", len(res.Windows))
+	}
+	for i, w := range res.Windows {
+		if w.Hyperperiod <= 0 {
+			t.Errorf("window %d hyperperiod %d on mixed-panel fleet", i, w.Hyperperiod)
+		}
+	}
+	// The streak forces a replan on entry and the rain windows must be
+	// the worst of the run.
+	if !res.Windows[2].Replanned {
+		t.Error("no replan at streak entry")
+	}
+	for _, rainy := range res.Windows[2:4] {
+		for _, clear := range []WindowReport{res.Windows[0], res.Windows[1]} {
+			if rainy.AverageUtility >= clear.AverageUtility {
+				t.Errorf("rain window %d utility %v not below clear window %d (%v)",
+					rainy.Window, rainy.AverageUtility, clear.Window, clear.AverageUtility)
+			}
+		}
+	}
+	// Panel counts must match the fleet.
+	opts.Panels = []int{1, 2}
+	if _, err := RunClosedLoop(u, weather, opts); err == nil {
+		t.Error("mismatched panel vector accepted")
+	}
+}
+
 func TestNewAreaUtilityRefinedFacade(t *testing.T) {
 	sensors := []Sensor{{ID: 0, Pos: Point{X: 50, Y: 50}, Range: 20}}
 	net, err := NewNetwork(sensors, nil)

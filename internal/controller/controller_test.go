@@ -40,6 +40,9 @@ func TestConfigValidation(t *testing.T) {
 		func(c Config) Config { c.Factory = nil; return c },
 		func(c Config) Config { c.Weather = nil; return c },
 		func(c Config) Config { c.SlotsPerWindow = -1; return c },
+		func(c Config) Config { c.Panels = []int{1, 2}; return c },
+		func(c Config) Config { c.Panels = []int{1, 2, 0, 1}; return c },
+		func(c Config) Config { c.Panels = []int{1, 2, -3, 1}; return c },
 	}
 	for i, mutate := range cases {
 		if _, err := Run(mutate(good)); err == nil {
@@ -144,6 +147,166 @@ func TestClosedLoopMarkovWeek(t *testing.T) {
 		if !strings.Contains(table, want) {
 			t.Errorf("report missing %q:\n%s", want, table)
 		}
+	}
+}
+
+// TestClosedLoopHeterogeneousPanels runs a fleet mixing 1- and
+// 2-panel motes: the loop must derive per-sensor periods, plan with
+// the heterogeneous greedy, and execute a hyperperiodic schedule
+// under per-sensor charging without a single energy veto.
+func TestClosedLoopHeterogeneousPanels(t *testing.T) {
+	const n = 6
+	res, err := Run(Config{
+		NumSensors: n,
+		Factory:    fleetFactory(t, n),
+		Weather: []solar.Weather{
+			solar.WeatherSunny, solar.WeatherSunny, solar.WeatherPartlyCloudy,
+		},
+		Panels: []int{1, 1, 2, 2, 1, 2},
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 3 {
+		t.Fatalf("windows = %d", len(res.Windows))
+	}
+	// Sunny: 1 panel gives rho=3 (T=4), 2 panels rho=1.5→2 (T=3),
+	// lcm 12. Partly cloudy: rho 4.6→5 (T=6) and 2.3→2 (T=3), lcm 6.
+	wantHyper := []int{12, 12, 6}
+	wantReplan := []bool{true, false, true}
+	for i, w := range res.Windows {
+		if w.Hyperperiod != wantHyper[i] {
+			t.Errorf("window %d hyperperiod = %d, want %d", i, w.Hyperperiod, wantHyper[i])
+		}
+		if w.Replanned != wantReplan[i] {
+			t.Errorf("window %d replanned = %v, want %v", i, w.Replanned, wantReplan[i])
+		}
+		if w.Denied != 0 {
+			t.Errorf("window %d denied %d activations under matched per-sensor patterns", i, w.Denied)
+		}
+		if w.AverageUtility <= 0 || w.AverageUtility > 1 {
+			t.Errorf("window %d utility %v out of range", i, w.AverageUtility)
+		}
+	}
+	if res.Replans != 2 {
+		t.Errorf("replans = %d, want 2", res.Replans)
+	}
+
+	// A homogeneous fleet of the same size activates each sensor once
+	// per its (slower) single-panel period; extra panels must not hurt.
+	homo, err := Run(Config{
+		NumSensors: n,
+		Factory:    fleetFactory(t, n),
+		Weather:    []solar.Weather{solar.WeatherSunny},
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows[0].AverageUtility < homo.Windows[0].AverageUtility-1e-9 {
+		t.Errorf("hetero fleet %v below homogeneous baseline %v",
+			res.Windows[0].AverageUtility, homo.Windows[0].AverageUtility)
+	}
+}
+
+// TestClosedLoopHeteroUniformPanels pins the boundary: a Panels vector
+// that is set but uniform stays on the homogeneous path (Hyperperiod
+// 0) while still using the richer pattern. Two panels on a sunny day
+// give rho=1.5→2, a shorter period than the single-panel rho=3.
+func TestClosedLoopHeteroUniformPanels(t *testing.T) {
+	const n = 5
+	res, err := Run(Config{
+		NumSensors: n,
+		Factory:    fleetFactory(t, n),
+		Weather:    []solar.Weather{solar.WeatherSunny},
+		Panels:     []int{2, 2, 2, 2, 2},
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Windows[0]
+	if w.Hyperperiod != 0 {
+		t.Errorf("uniform fleet took the hetero path (hyperperiod %d)", w.Hyperperiod)
+	}
+	if w.Period.Slots() != 3 {
+		t.Errorf("2-panel sunny period = %d slots, want 3", w.Period.Slots())
+	}
+}
+
+// TestClosedLoopHeterogeneousEstimation drives the hetero path through
+// the full measure→estimate pipeline: the fleet-wide single-panel
+// pattern is estimated from a simulated trace, then scaled per panel
+// count.
+func TestClosedLoopHeterogeneousEstimation(t *testing.T) {
+	const n = 4
+	res, err := Run(Config{
+		NumSensors: n,
+		Factory:    fleetFactory(t, n),
+		Weather:    []solar.Weather{solar.WeatherSunny, solar.WeatherSunny},
+		Panels:     []int{1, 2, 1, 2},
+		Estimate:   true,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Windows {
+		if w.Hyperperiod <= 0 {
+			t.Errorf("window %d hyperperiod %d on hetero path", i, w.Hyperperiod)
+		}
+		if w.AverageUtility <= 0 {
+			t.Errorf("window %d utility %v", i, w.AverageUtility)
+		}
+	}
+	// The reported rho is the single-panel baseline, near the true 3.
+	if rho := res.Windows[0].EstimatedRho; rho < 2 || rho > 4.5 {
+		t.Errorf("estimated baseline rho = %v, want ~3", rho)
+	}
+}
+
+// TestClosedLoopAdversarialStreak lives through a sunny week broken by
+// a three-day rain streak — the adversarial scenario for a
+// solar-powered fleet. The loop must replan exactly at the streak
+// edges and utility must collapse inside the streak (rain rho=75: one
+// activation per 76 slots) and recover after it.
+func TestClosedLoopAdversarialStreak(t *testing.T) {
+	const n = 10
+	weather := []solar.Weather{
+		solar.WeatherSunny, solar.WeatherSunny, solar.WeatherSunny,
+		solar.WeatherRain, solar.WeatherRain, solar.WeatherRain,
+		solar.WeatherSunny, solar.WeatherSunny,
+	}
+	res, err := Run(Config{
+		NumSensors: n,
+		Factory:    fleetFactory(t, n),
+		Weather:    weather,
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReplan := []bool{true, false, false, true, false, false, true, false}
+	for i, w := range res.Windows {
+		if w.Replanned != wantReplan[i] {
+			t.Errorf("window %d replanned = %v, want %v", i, w.Replanned, wantReplan[i])
+		}
+	}
+	if res.Replans != 3 {
+		t.Errorf("replans = %d, want 3", res.Replans)
+	}
+	sunny, rain := res.Windows[0], res.Windows[3]
+	if rain.EstimatedRho <= sunny.EstimatedRho {
+		t.Errorf("rain rho %v not above sunny %v", rain.EstimatedRho, sunny.EstimatedRho)
+	}
+	if !(rain.AverageUtility < sunny.AverageUtility/2) {
+		t.Errorf("rain utility %v did not collapse from sunny %v",
+			rain.AverageUtility, sunny.AverageUtility)
+	}
+	// Recovery: the post-streak window matches the pre-streak one.
+	if got, want := res.Windows[6].AverageUtility, res.Windows[0].AverageUtility; got != want {
+		t.Errorf("post-streak utility %v differs from pre-streak %v", got, want)
 	}
 }
 

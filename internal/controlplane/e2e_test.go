@@ -329,6 +329,116 @@ func TestE2EEngineConsistency(t *testing.T) {
 	}
 }
 
+// TestE2ELifetimeObjective exercises the objective field of the plan
+// op: lifetime plans flow through the same engine seam, match a direct
+// facade call exactly, and the typed-error surface rejects unknown
+// objectives, lifetime-incompatible engines and detection deployments.
+func TestE2ELifetimeObjective(t *testing.T) {
+	cli, _ := newTestPair(t, Config{})
+	spec := testSpec(10, 5, 1, 21)
+	sub, err := cli.Submit("acme", SubmitRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	norm, err := Normalize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := BuildPlanner(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for wireEngine, alg := range map[string]cool.Algorithm{
+		"":                  cool.AlgorithmHEF, // default engine under the lifetime objective
+		EngineHEF:           cool.AlgorithmHEF,
+		EngineStripCover:    cool.AlgorithmStripCover,
+		EngineLifetimeExact: cool.AlgorithmLifetimeExact,
+	} {
+		resp, err := cli.Plan("acme", PlanRequest{
+			Fingerprint: sub.Fingerprint, Engine: wireEngine, Objective: ObjectiveLifetime,
+		})
+		if err != nil {
+			t.Fatalf("engine %q: %v", wireEngine, err)
+		}
+		if resp.Objective != ObjectiveLifetime || resp.Lifetime == nil || resp.Schedule != nil {
+			t.Fatalf("engine %q: response (objective %q, lifetime %v, schedule %v)",
+				wireEngine, resp.Objective, resp.Lifetime, resp.Schedule)
+		}
+		if resp.Engine != string(alg) {
+			t.Errorf("engine %q: echoed %q, want %q", wireEngine, resp.Engine, alg)
+		}
+		direct, err := planner.Plan(cool.PlanRequest{Objective: cool.ObjectiveLifetime, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("direct %s: %v", alg, err)
+		}
+		if resp.Lifetime.Lifetime != direct.Lifetime.Lifetime {
+			t.Errorf("%s: wire lifetime %d, direct %d", alg, resp.Lifetime.Lifetime, direct.Lifetime.Lifetime)
+		}
+		if resp.Lifetime.Horizon != direct.Lifetime.Horizon {
+			t.Errorf("%s: wire horizon %d, direct %d", alg, resp.Lifetime.Horizon, direct.Lifetime.Horizon)
+		}
+		if len(resp.Lifetime.ActiveSlots) != direct.Lifetime.Schedule.Slots() {
+			t.Fatalf("%s: wire has %d slots, direct %d", alg,
+				len(resp.Lifetime.ActiveSlots), direct.Lifetime.Schedule.Slots())
+		}
+		for slot, got := range resp.Lifetime.ActiveSlots {
+			want := direct.Lifetime.Schedule.ActiveAt(slot)
+			if len(got) != len(want) {
+				t.Fatalf("%s slot %d: wire %v, direct %v", alg, slot, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s slot %d: wire %v, direct %v", alg, slot, got, want)
+				}
+			}
+		}
+	}
+
+	// A utility engine cannot plan the lifetime objective.
+	if _, err := cli.Plan("acme", PlanRequest{
+		Fingerprint: sub.Fingerprint, Engine: EngineGreedy, Objective: ObjectiveLifetime,
+	}); !isCode(err, CodeBadRequest) {
+		t.Fatalf("utility engine under lifetime objective: want bad-request, got %v", err)
+	}
+	// Unknown objectives die at decode time as malformed requests.
+	if _, err := cli.Plan("acme", PlanRequest{
+		Fingerprint: sub.Fingerprint, Objective: "throughput",
+	}); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	// Detection deployments have no binary coverage to keep alive.
+	dspec := testSpec(8, 4, 1, 22)
+	dspec.Utility = UtilityDetection
+	dspec.DetectProb = 0.6
+	dsub, err := cli.Submit("acme", SubmitRequest{Spec: dspec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Plan("acme", PlanRequest{
+		Fingerprint: dsub.Fingerprint, Objective: ObjectiveLifetime,
+	}); !isCode(err, CodeBadRequest) {
+		t.Fatalf("detection deployment under lifetime objective: want bad-request, got %v", err)
+	}
+	// The utility objective spelled out explicitly behaves exactly like
+	// the default empty objective.
+	explicit, err := cli.Plan("acme", PlanRequest{
+		Fingerprint: sub.Fingerprint, Engine: EngineGreedy, Objective: ObjectiveUtility,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	implicit, err := cli.Plan("acme", PlanRequest{Fingerprint: sub.Fingerprint, Engine: EngineGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualSchedules(t, "explicit-vs-implicit utility objective", explicit.Schedule, implicit.Schedule)
+	if !sameBits(explicit.Utility, implicit.Utility) {
+		t.Fatalf("explicit utility %v, implicit %v", explicit.Utility, implicit.Utility)
+	}
+}
+
 // TestE2ESuspendResumeReset exercises serving-state changes without
 // redeploy: suspend blocks the data plane (typed error), resume
 // restores it, reset drops the live session and the next plan

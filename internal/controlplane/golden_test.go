@@ -83,6 +83,8 @@ func goldenFrames(t *testing.T) []struct {
 			Plan: &PlanRequest{Fingerprint: "deadbeef"}}),
 		mk("request-plan-parallel", FrameRequest, &Request{Op: OpPlan, Tenant: "acme",
 			Plan: &PlanRequest{Fingerprint: "deadbeef", Engine: EngineParallel, Workers: 4}}),
+		mk("request-plan-lifetime", FrameRequest, &Request{Op: OpPlan, Tenant: "acme",
+			Plan: &PlanRequest{Fingerprint: "deadbeef", Engine: EngineStripCover, Objective: ObjectiveLifetime}}),
 		mk("request-replan-kill", FrameRequest, &Request{Op: OpReplan, Tenant: "acme",
 			Replan: &ReplanRequest{Fingerprint: "deadbeef", Op: ReplanKill, IDs: []int{3, 17, 29}, WithGap: true}}),
 		mk("request-replan-deploy", FrameRequest, &Request{Op: OpReplan, Tenant: "acme",
@@ -104,6 +106,10 @@ func goldenFrames(t *testing.T) []struct {
 			Plan: &PlanResponse{Engine: EngineIncremental, Schedule: placement, Utility: utility, Mode: "placement", Slots: 4}}),
 		mk("response-plan-removal", FrameResponse, &Response{Op: OpPlan,
 			Plan: &PlanResponse{Engine: EngineGreedy, Schedule: removal, Utility: utility, Mode: "removal", Slots: 3}}),
+		mk("response-plan-lifetime", FrameResponse, &Response{Op: OpPlan,
+			Plan: &PlanResponse{Engine: EngineStripCover, Objective: ObjectiveLifetime,
+				Lifetime: &LifetimePlanInfo{Lifetime: 3, Horizon: 8, Groups: 2,
+					ActiveSlots: [][]int{{0}, {1}, {0}}}}}),
 		mk("response-replan", FrameResponse, &Response{Op: OpReplan,
 			Replan: &ReplanResponse{Changed: 3, Dirty: 11, Rounds: 2, Moves: 4,
 				UtilityBefore: 7.25, Utility: 6.5, Gap: &gap, Schedule: placement}}),

@@ -153,14 +153,14 @@ type SubmitResponse struct {
 	Targets int `json:"targets"`
 }
 
-// Plan engines accepted by PlanRequest.Engine. All produce the same
-// schedule bits ("incremental" initializes bit-identically to the
-// greedy); they differ in cost and in whether a live replanning
-// session is established. The multi-engine seam is where the
-// lifetime-objective schedulers (ROADMAP item 4) plug in.
+// Plan engines accepted by PlanRequest.Engine. Under the default
+// utility objective all produce the same schedule bits ("incremental"
+// initializes bit-identically to the greedy); they differ in cost and
+// in whether a live replanning session is established. The lifetime
+// objective plugs its schedulers into the same engine seam.
 const (
 	// EngineIncremental plans via Planner.Incremental and keeps the
-	// live Repairer session for replan traffic. The default.
+	// live Repairer session for replan traffic. The utility default.
 	EngineIncremental = "incremental"
 	// EngineGreedy is the one-shot paper greedy (Planner.Greedy).
 	EngineGreedy = "greedy"
@@ -169,6 +169,24 @@ const (
 	// EngineParallel is the sharded-scan parallel greedy
 	// (Planner.ParallelGreedy), bit-identical to EngineGreedy.
 	EngineParallel = "parallel"
+
+	// EngineHEF is the high-energy-first lifetime scheduler. The
+	// default under ObjectiveLifetime.
+	EngineHEF = "hef"
+	// EngineStripCover is the rotating disjoint-cover-group lifetime
+	// scheduler.
+	EngineStripCover = "strip-cover"
+	// EngineLifetimeExact is the exhaustive lifetime reference (tiny
+	// deployments only).
+	EngineLifetimeExact = "lifetime-exact"
+)
+
+// Objective names accepted by PlanRequest.Objective. The empty string
+// means ObjectiveUtility, which keeps every pre-objective client and
+// frame encoding working unchanged.
+const (
+	ObjectiveUtility  = "utility"
+	ObjectiveLifetime = "lifetime"
 )
 
 // PlanRequest computes (or returns the committed) schedule of an
@@ -176,20 +194,46 @@ const (
 type PlanRequest struct {
 	Fingerprint string `json:"fingerprint"`
 	// Engine selects the planning engine; empty means
-	// EngineIncremental.
+	// EngineIncremental under the utility objective and EngineHEF
+	// under the lifetime objective.
 	Engine string `json:"engine,omitempty"`
 	// Workers bounds EngineParallel's scan concurrency (<= 0 NumCPU).
 	Workers int `json:"workers,omitempty"`
+	// Objective selects what to optimize: "" or ObjectiveUtility for
+	// the per-period submodular utility (the historical behavior), or
+	// ObjectiveLifetime for coverage lifetime under battery budgets.
+	// The field is omitted when empty, so existing encodings are
+	// byte-identical.
+	Objective string `json:"objective,omitempty"`
 }
 
-// PlanResponse carries the planned schedule.
+// LifetimePlanInfo is the lifetime half of a PlanResponse: the
+// verified coverage lifetime, the horizon it was planned against, the
+// cover-group count (strip-cover only) and the per-slot active sets.
+type LifetimePlanInfo struct {
+	Lifetime int `json:"lifetime"`
+	Horizon  int `json:"horizon"`
+	Groups   int `json:"groups,omitempty"`
+	// ActiveSlots[t] is the sorted active set of slot t.
+	ActiveSlots [][]int `json:"active_slots"`
+}
+
+// PlanResponse carries the planned schedule. Exactly one of Schedule
+// (utility objective) and Lifetime (lifetime objective) is set; Mode
+// and Slots describe the periodic schedule and are empty for lifetime
+// plans.
 type PlanResponse struct {
 	Engine   string         `json:"engine"`
-	Schedule *cool.Schedule `json:"schedule"`
+	Schedule *cool.Schedule `json:"schedule,omitempty"`
 	// Utility is the period utility Σ_t U(S_t) of the schedule.
 	Utility float64 `json:"utility"`
-	Mode    string  `json:"mode"`
-	Slots   int     `json:"slots"`
+	Mode    string  `json:"mode,omitempty"`
+	Slots   int     `json:"slots,omitempty"`
+	// Objective echoes the resolved objective of the request; empty
+	// means utility (pre-objective encodings are byte-identical).
+	Objective string `json:"objective,omitempty"`
+	// Lifetime carries the lifetime-objective result.
+	Lifetime *LifetimePlanInfo `json:"lifetime,omitempty"`
 }
 
 // Replan operations accepted by ReplanRequest.Op.
@@ -395,6 +439,11 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	}
 	if !want || bodies != 1 {
 		return nil, fmt.Errorf("controlplane: op %q wants exactly its own body (got %d bodies)", req.Op, bodies)
+	}
+	if req.Plan != nil {
+		if _, err := cool.ParseObjective(req.Plan.Objective); err != nil {
+			return nil, fmt.Errorf("controlplane: plan request: unknown objective %q", req.Plan.Objective)
+		}
 	}
 	return &req, nil
 }

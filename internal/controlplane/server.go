@@ -348,6 +348,13 @@ func (s *Server) handlePlan(tenant string, plan *PlanRequest) (*Response, *WireE
 	if d.suspended {
 		return nil, &WireError{Code: CodeSuspended, Message: "deployment suspended"}
 	}
+	obj, oerr := cool.ParseObjective(plan.Objective)
+	if oerr != nil {
+		return nil, &WireError{Code: CodeBadRequest, Message: oerr.Error()}
+	}
+	if obj == cool.ObjectiveLifetime {
+		return s.handlePlanLifetime(tenant, plan, d)
+	}
 	engine := plan.Engine
 	if engine == "" {
 		engine = EngineIncremental
@@ -389,6 +396,50 @@ func (s *Server) handlePlan(tenant string, plan *PlanRequest) (*Response, *WireE
 		Utility:  utility,
 		Mode:     sched.Mode().String(),
 		Slots:    sched.Period(),
+	}}, nil
+}
+
+// handlePlanLifetime serves the lifetime objective through the same
+// engine seam: the engine name maps to a lifetime algorithm and the
+// deployment's charging ratio supplies the default recharge rate
+// (1/ρ per rest slot) and horizon. Callers hold d.mu.
+func (s *Server) handlePlanLifetime(tenant string, plan *PlanRequest, d *deployment) (*Response, *WireError) {
+	if d.snap.Spec.Utility == UtilityDetection {
+		return nil, &WireError{Code: CodeBadRequest,
+			Message: "lifetime objective requires a coverage utility (detection deployments have no binary coverage)"}
+	}
+	var alg cool.Algorithm
+	switch plan.Engine {
+	case "", EngineHEF:
+		alg = cool.AlgorithmHEF
+	case EngineStripCover:
+		alg = cool.AlgorithmStripCover
+	case EngineLifetimeExact:
+		alg = cool.AlgorithmLifetimeExact
+	default:
+		return nil, &WireError{Code: CodeBadRequest,
+			Message: fmt.Sprintf("engine %q does not plan the lifetime objective", plan.Engine)}
+	}
+	res, err := d.planner.Plan(cool.PlanRequest{Objective: cool.ObjectiveLifetime, Algorithm: alg})
+	if err != nil {
+		return nil, &WireError{Code: CodeInternal, Message: err.Error()}
+	}
+	lr := res.Lifetime
+	slots := make([][]int, lr.Schedule.Slots())
+	for t := range slots {
+		slots[t] = append([]int{}, lr.Schedule.ActiveAt(t)...)
+	}
+	s.logf("plan tenant=%s fp=%.12s engine=%s objective=lifetime lifetime=%d",
+		tenant, plan.Fingerprint, string(res.Algorithm), lr.Lifetime)
+	return &Response{Op: OpPlan, Plan: &PlanResponse{
+		Engine:    string(res.Algorithm),
+		Objective: ObjectiveLifetime,
+		Lifetime: &LifetimePlanInfo{
+			Lifetime:    lr.Lifetime,
+			Horizon:     lr.Horizon,
+			Groups:      lr.Groups,
+			ActiveSlots: slots,
+		},
 	}}, nil
 }
 

@@ -197,6 +197,7 @@ func fuzzSeeds() [][]byte {
 		valid(FrameRequest, `{"op":"list","tenant":"t","list":{}}`),
 		valid(FrameRequest, `{"op":"submit","tenant":"t","submit":{"spec":{"rho":3,"sensors":[{"x":1,"y":2,"range":3}],"targets":[{"x":1,"y":1}]}}}`),
 		valid(FrameResponse, `{"op":"plan","plan":{"engine":"incremental","schedule":{"mode":"placement","period":4,"assign":[0,1]},"utility":2,"mode":"placement","slots":4}}`),
+		valid(FrameRequest, `{"op":"plan","tenant":"t","plan":{"fingerprint":"deadbeef","engine":"hef","objective":"lifetime"}}`),
 		valid(FrameError, `{"code":"rejected","message":"nope"}`),
 		valid(FrameRequest, `not json at all`),
 		valid(FrameHelloAck, ``),

@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// Objective identifies what a planner optimizes. The paper's objective
+// is per-slot average utility under a fixed charging period
+// (ObjectiveUtility); the adjacent Restricted Strip Covering / Sensor
+// Cover literature instead maximizes coverage *lifetime* — the number
+// of slots until coverage first drops below a requirement — under
+// per-sensor battery budgets (ObjectiveLifetime, served by
+// internal/lifetime). The facade's unified Plan entry point dispatches
+// on this type; every engine declares which objective it computes.
+type Objective int
+
+const (
+	// ObjectiveUtility maximizes Σ_{t<T} U(S_t) over one charging
+	// period — the Cool objective. The default everywhere an objective
+	// is optional.
+	ObjectiveUtility Objective = iota + 1
+	// ObjectiveLifetime maximizes the number of rounds until coverage
+	// first fails (k-coverage of the target set under per-sensor
+	// battery budgets and recharge rates).
+	ObjectiveLifetime
+)
+
+// String implements fmt.Stringer. The names are wire- and
+// CLI-stable: ParseObjective accepts exactly these spellings.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveUtility:
+		return "utility"
+	case ObjectiveLifetime:
+		return "lifetime"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ParseObjective maps a stable name to an Objective. The empty string
+// selects ObjectiveUtility so that every pre-objective API (wire
+// requests, CLI flags, stored configs) keeps its exact old meaning.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "utility":
+		return ObjectiveUtility, nil
+	case "lifetime":
+		return ObjectiveLifetime, nil
+	default:
+		return 0, fmt.Errorf("core: unknown objective %q (want \"utility\" or \"lifetime\")", s)
+	}
+}
+
+// Valid reports whether o is a known objective.
+func (o Objective) Valid() bool {
+	return o == ObjectiveUtility || o == ObjectiveLifetime
+}

@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+func TestObjectiveRoundTrip(t *testing.T) {
+	for _, o := range []Objective{ObjectiveUtility, ObjectiveLifetime} {
+		got, err := ParseObjective(o.String())
+		if err != nil {
+			t.Fatalf("ParseObjective(%q): %v", o.String(), err)
+		}
+		if got != o {
+			t.Errorf("ParseObjective(%q) = %v, want %v", o.String(), got, o)
+		}
+		if !o.Valid() {
+			t.Errorf("%v.Valid() = false", o)
+		}
+	}
+}
+
+func TestObjectiveDefaults(t *testing.T) {
+	got, err := ParseObjective("")
+	if err != nil {
+		t.Fatalf("ParseObjective(\"\"): %v", err)
+	}
+	if got != ObjectiveUtility {
+		t.Errorf("empty objective = %v, want utility", got)
+	}
+}
+
+func TestObjectiveUnknown(t *testing.T) {
+	for _, s := range []string{"coverage", "UTILITY", "lifetime ", "max-lifetime"} {
+		if _, err := ParseObjective(s); err == nil {
+			t.Errorf("ParseObjective(%q) accepted", s)
+		}
+	}
+	if Objective(0).Valid() || Objective(99).Valid() {
+		t.Error("invalid objective reported valid")
+	}
+	if s := Objective(99).String(); s == "" {
+		t.Error("invalid objective has empty String")
+	}
+}

@@ -1,0 +1,190 @@
+package lifetime
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ErrTooLarge is returned when an instance exceeds the exhaustive
+// reference's tractability limits (sensor count, horizon or the search
+// node budget).
+var ErrTooLarge = errors.New("lifetime: instance too large for exact search")
+
+// ExactOptions tunes the exhaustive reference search.
+type ExactOptions struct {
+	// MaxNodes bounds the number of explored search states (0 = 4·10⁶).
+	MaxNodes int64
+	// MaxSensors bounds the ground set (0 = 12; the subset enumeration
+	// is exponential in it).
+	MaxSensors int
+	// MaxSlots bounds the horizon (0 = 64).
+	MaxSlots int
+}
+
+// Exact computes an optimal lifetime schedule by depth-first search
+// over per-slot activation choices, memoized on the (slot, battery
+// vector) state — the enumeration yardstick the HEF and strip-cover
+// heuristics are cross-checked against on tiny instances.
+//
+// The search only branches over *minimal* covering sets of the
+// currently charged sensors, which preserves optimality: lifetime is
+// indifferent to how much a covered slot over-covers, deactivating a
+// redundant sensor leaves every battery pointwise no lower, and the
+// battery dynamics are monotone — from pointwise-higher charge every
+// continuation remains available. So some optimal schedule uses only
+// minimal covers, and enumerating those is exponentially cheaper than
+// enumerating all subsets.
+func Exact(in *Instance, opts ExactOptions) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 4_000_000
+	}
+	maxSensors := opts.MaxSensors
+	if maxSensors <= 0 {
+		maxSensors = 12
+	}
+	if maxSensors > 31 {
+		maxSensors = 31 // charged-set bitmasks are uint32
+	}
+	maxSlots := opts.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 64
+	}
+	if in.N > maxSensors {
+		return nil, fmt.Errorf("%w: %d sensors (max %d)", ErrTooLarge, in.N, maxSensors)
+	}
+	if in.Horizon > maxSlots {
+		return nil, fmt.Errorf("%w: horizon %d (max %d)", ErrTooLarge, in.Horizon, maxSlots)
+	}
+
+	e := &exactSearch{
+		in:     in,
+		budget: maxNodes,
+		memo:   make(map[string]exactEntry),
+		covers: make(map[uint32][][]int),
+	}
+	life, slots, err := e.search(0, in.Batteries())
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSchedule(in.N, slots)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, Lifetime: life, Algorithm: "lifetime-exact", Horizon: in.Horizon}, nil
+}
+
+type exactEntry struct {
+	life  int
+	slots [][]int
+}
+
+type exactSearch struct {
+	in     *Instance
+	budget int64
+	memo   map[string]exactEntry
+	covers map[uint32][][]int // charged mask -> minimal covering sets
+}
+
+// key encodes the search state: the slot index (it fixes both the
+// remaining horizon and the weather-scale phase) plus the exact bits
+// of every battery level.
+func (e *exactSearch) key(t int, b []float64) string {
+	buf := make([]byte, 4+8*len(b))
+	binary.LittleEndian.PutUint32(buf, uint32(t))
+	for i, x := range b {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], math.Float64bits(x))
+	}
+	return string(buf)
+}
+
+// chargedMask returns the bitmask of sensors that can afford a slot.
+func (e *exactSearch) chargedMask(b []float64) uint32 {
+	var m uint32
+	for i := range b {
+		if CanActivate(b, i) {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// minimalCovers enumerates the minimal covering subsets of the charged
+// mask, cached per mask (coverage is time-invariant).
+func (e *exactSearch) minimalCovers(charged uint32) [][]int {
+	if sets, ok := e.covers[charged]; ok {
+		return sets
+	}
+	coveredMask := func(m uint32) bool {
+		ok, _ := e.in.coveredBy(func(v int) bool { return m&(1<<uint(v)) != 0 })
+		return ok
+	}
+	var sets [][]int
+	// Enumerate submasks of charged in ascending order; ascending
+	// order makes the per-subset minimality test (every single-bit
+	// removal fails to cover) the only check needed.
+	if coveredMask(charged) { // prune: if even all charged fail, nothing covers
+		for sub := charged; ; sub = (sub - 1) & charged {
+			if sub != 0 && coveredMask(sub) {
+				minimal := true
+				for m := sub; m != 0; m &= m - 1 {
+					if coveredMask(sub &^ (m & -m)) {
+						minimal = false
+						break
+					}
+				}
+				if minimal {
+					set := make([]int, 0, bits.OnesCount32(sub))
+					for m := sub; m != 0; m &= m - 1 {
+						set = append(set, bits.TrailingZeros32(m))
+					}
+					sets = append(sets, set)
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	e.covers[charged] = sets
+	return sets
+}
+
+// search returns the best achievable lifetime from slot t with battery
+// vector b, together with the per-slot active sets realizing it.
+func (e *exactSearch) search(t int, b []float64) (int, [][]int, error) {
+	if t >= e.in.Horizon {
+		return 0, nil, nil
+	}
+	if e.budget--; e.budget < 0 {
+		return 0, nil, fmt.Errorf("%w: node budget exhausted", ErrTooLarge)
+	}
+	k := e.key(t, b)
+	if ent, ok := e.memo[k]; ok {
+		return ent.life, ent.slots, nil
+	}
+	bestLife, bestSlots := 0, [][]int(nil)
+	for _, set := range e.minimalCovers(e.chargedMask(b)) {
+		nb := append([]float64(nil), b...)
+		e.in.Step(nb, set, t)
+		life, slots, err := e.search(t+1, nb)
+		if err != nil {
+			return 0, nil, err
+		}
+		if life+1 > bestLife {
+			bestLife = life + 1
+			bestSlots = append([][]int{set}, slots...)
+			if bestLife == e.in.Horizon-t {
+				break // cannot do better than covering every remaining slot
+			}
+		}
+	}
+	e.memo[k] = exactEntry{life: bestLife, slots: bestSlots}
+	return bestLife, bestSlots, nil
+}

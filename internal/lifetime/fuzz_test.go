@@ -1,0 +1,115 @@
+package lifetime
+
+import (
+	"testing"
+
+	"cool/internal/stats"
+)
+
+// FuzzLifetimeFeasibility is the safety contract of the lifetime
+// planners in fuzz shape: for any seeded instance the fuzzer reaches —
+// any coverage structure, k-requirement, threshold, heterogeneous
+// recharge vector, capacity profile or weather envelope (including
+// all-zero adversarial streaks) — the schedules HEF and StripCover
+// emit must always be battery-feasible and their claimed lifetimes
+// must match the independent k-coverage evaluator exactly (Verify also
+// rejects trailing uncovered slots). On instances small enough for the
+// exhaustive reference, neither heuristic may exceed the optimum. The
+// committed seed corpus under testdata/fuzz/FuzzLifetimeFeasibility
+// pins the structural corners; `make fuzz` and the CI race job extend
+// the search from there.
+func FuzzLifetimeFeasibility(f *testing.F) {
+	// (seed, nRaw, mRaw, axesRaw, horizonRaw) — decoded below.
+	f.Add(uint64(1), uint8(4), uint8(2), uint8(0), uint8(4))
+	f.Add(uint64(2), uint8(6), uint8(1), uint8(0xFF), uint8(6))  // every axis on
+	f.Add(uint64(3), uint8(2), uint8(3), uint8(0x01), uint8(2))  // k=2, tiny fleet
+	f.Add(uint64(4), uint8(9), uint8(2), uint8(0x04), uint8(8))  // hetero recharge
+	f.Add(uint64(5), uint8(5), uint8(1), uint8(0x08), uint8(5))  // weather streaks
+	f.Add(uint64(6), uint8(12), uint8(3), uint8(0x02), uint8(7)) // threshold < 1
+	f.Add(uint64(7), uint8(7), uint8(2), uint8(0x10), uint8(6))  // deep batteries
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw, axesRaw, horizonRaw uint8) {
+		rng := stats.NewRNG(seed)
+		n := 2 + int(nRaw)%14
+		m := 1 + int(mRaw)%4
+		horizon := 1 + int(horizonRaw)%10
+
+		targets := make([]Target, m)
+		for j := range targets {
+			var covers []int
+			for v := 0; v < n; v++ {
+				if rng.Bernoulli(0.5) {
+					covers = append(covers, v)
+				}
+			}
+			if len(covers) == 0 {
+				covers = []int{rng.Intn(n)}
+			}
+			targets[j] = Target{Covers: covers}
+		}
+		in := &Instance{N: n, Targets: targets, Horizon: horizon}
+		if axesRaw&0x01 != 0 {
+			in.K = 2
+		}
+		if axesRaw&0x02 != 0 {
+			in.Threshold = 0.5
+		}
+		if axesRaw&0x04 != 0 {
+			in.Recharge = make([]float64, n)
+			for i := range in.Recharge {
+				in.Recharge[i] = []float64{0, 0.25, 0.5, 1}[rng.Intn(4)]
+			}
+		}
+		if axesRaw&0x08 != 0 {
+			L := 1 + rng.Intn(4)
+			in.Scale = make([]float64, L)
+			for s := range in.Scale {
+				in.Scale[s] = []float64{0, 0, 0.5, 1}[rng.Intn(4)]
+			}
+		}
+		if axesRaw&0x10 != 0 {
+			in.Capacity = make([]float64, n)
+			in.Initial = make([]float64, n)
+			for i := range in.Capacity {
+				in.Capacity[i] = float64(1 + rng.Intn(3))
+				in.Initial[i] = in.Capacity[i]
+				if rng.Bernoulli(0.2) {
+					in.Initial[i] = 0 // deployed drained
+				}
+			}
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("generated invalid instance: %v", err)
+		}
+
+		hef, err := HEF(in)
+		if err != nil {
+			t.Fatalf("HEF: %v", err)
+		}
+		if err := in.Verify(hef); err != nil {
+			t.Errorf("HEF schedule fails verification: %v", err)
+		}
+		strip, err := StripCover(in)
+		if err != nil {
+			t.Fatalf("StripCover: %v", err)
+		}
+		if err := in.Verify(strip); err != nil {
+			t.Errorf("StripCover schedule fails verification: %v", err)
+		}
+
+		if n <= 6 && horizon <= 6 {
+			exact, err := Exact(in, ExactOptions{})
+			if err != nil {
+				t.Fatalf("Exact: %v", err)
+			}
+			if err := in.Verify(exact); err != nil {
+				t.Errorf("Exact schedule fails verification: %v", err)
+			}
+			if hef.Lifetime > exact.Lifetime {
+				t.Errorf("HEF %d beats exact %d", hef.Lifetime, exact.Lifetime)
+			}
+			if strip.Lifetime > exact.Lifetime {
+				t.Errorf("strip-cover %d beats exact %d", strip.Lifetime, exact.Lifetime)
+			}
+		}
+	})
+}

@@ -1,0 +1,385 @@
+// Package lifetime implements the coverage-lifetime objective from the
+// literature adjacent to the Cool paper: instead of maximizing per-slot
+// average utility under a fixed charging period, maximize the number of
+// time-slots (rounds) until coverage first drops below a requirement,
+// under per-sensor battery budgets and recharge rates — the Restricted
+// Strip Covering / Sensor Cover problem family (Buchsbaum et al.) with
+// the solar twist that batteries recharge while a sensor rests.
+//
+// The model: n sensors with battery charge measured in active-slot
+// units (one active slot costs exactly 1). A resting sensor harvests
+// Recharge[i] × Scale[t] per slot, clamped at Capacity[i] — Recharge
+// encodes per-sensor heterogeneous charging ratios (1/ρ_i) and Scale
+// encodes the per-slot weather envelope, including adversarial streaks
+// where harvesting collapses to zero. Coverage holds at a slot when at
+// least ⌈Threshold·m⌉ targets have ≥ K active coverers. The lifetime of
+// a schedule is the length of its covered prefix: the first slot where
+// coverage fails ends the run (resting to recharge mid-run cannot
+// extend it, by definition of the objective).
+//
+// The package ships two competing planners as first-class baselines —
+// HEF (High-Energy-First, battery-aware per-slot selection) and
+// StripCover (sensors partitioned into sequential cover groups rotated
+// round-robin) — plus Exact, an exhaustive reference over minimal
+// covering sets for tiny instances, and the feasibility checkers that
+// validate every schedule regardless of provenance.
+package lifetime
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// chargeEps absorbs float accumulation in battery arithmetic: a sensor
+// is deemed able to afford an active slot when charge ≥ 1 − chargeEps
+// (e.g. three 1/3-recharges sum to 1 only up to rounding).
+const chargeEps = 1e-9
+
+// MaxHorizon bounds the planning horizon so a hostile or malformed
+// instance (the horizon reaches the wire via the coold objective
+// extension) cannot drive an O(horizon) loop or allocation to
+// pathological sizes.
+const MaxHorizon = 1 << 20
+
+// Target is one monitored point: the set of sensors whose footprint
+// contains it. Covers must be ascending sensor ids (the wsn incidence
+// and submodular CoverageItem order).
+type Target struct {
+	// Covers lists the sensors that can cover this target.
+	Covers []int
+}
+
+// Instance is one lifetime-scheduling problem.
+type Instance struct {
+	// N is the number of sensors.
+	N int
+	// Targets are the monitored points with their coverer sets.
+	Targets []Target
+	// K is the per-target coverage requirement (k-coverage); 0 means 1.
+	K int
+	// Threshold is the fraction of targets that must be K-covered for a
+	// slot to count as covered; 0 means 1 (all targets).
+	Threshold float64
+	// Horizon bounds the schedule length in slots.
+	Horizon int
+	// Initial is the per-sensor starting charge in active-slot units;
+	// nil means every sensor starts at capacity.
+	Initial []float64
+	// Capacity is the per-sensor battery capacity; nil means 1 per
+	// sensor (one active slot stored at full charge, the paper's
+	// normalized battery).
+	Capacity []float64
+	// Recharge is the per-sensor harvest per resting slot; nil means 0
+	// (the pure Sensor Cover setting: batteries never refill).
+	// Recharge[i] = 1/ρ_i expresses a heterogeneous charging ratio.
+	Recharge []float64
+	// Scale is the per-slot recharge multiplier (weather envelope); it
+	// tiles when shorter than the horizon. nil means 1 everywhere.
+	// Adversarial weather streaks are runs of zeros.
+	Scale []float64
+}
+
+// Kreq returns the effective per-target coverage requirement.
+func (in *Instance) Kreq() int {
+	if in.K <= 0 {
+		return 1
+	}
+	return in.K
+}
+
+// CoveredNeeded returns the number of targets that must be K-covered
+// for a slot to count as covered: ⌈Threshold·m⌉ (with Threshold 0
+// meaning 1.0).
+func (in *Instance) CoveredNeeded() int {
+	th := in.Threshold
+	if th == 0 {
+		th = 1
+	}
+	need := int(math.Ceil(th*float64(len(in.Targets)) - chargeEps))
+	if need < 1 {
+		need = 1
+	}
+	return need
+}
+
+// Validate reports whether the instance is well formed.
+func (in *Instance) Validate() error {
+	if in.N <= 0 {
+		return fmt.Errorf("lifetime: non-positive sensor count %d", in.N)
+	}
+	if len(in.Targets) == 0 {
+		return errors.New("lifetime: no targets")
+	}
+	for j, t := range in.Targets {
+		for _, v := range t.Covers {
+			if v < 0 || v >= in.N {
+				return fmt.Errorf("lifetime: target %d covered by sensor %d outside [0,%d)", j, v, in.N)
+			}
+		}
+	}
+	if in.K < 0 {
+		return fmt.Errorf("lifetime: negative coverage requirement %d", in.K)
+	}
+	if in.Threshold < 0 || in.Threshold > 1 || math.IsNaN(in.Threshold) {
+		return fmt.Errorf("lifetime: coverage threshold %v outside [0,1]", in.Threshold)
+	}
+	if in.Horizon <= 0 {
+		return fmt.Errorf("lifetime: non-positive horizon %d", in.Horizon)
+	}
+	if in.Horizon > MaxHorizon {
+		return fmt.Errorf("lifetime: horizon %d exceeds MaxHorizon %d", in.Horizon, MaxHorizon)
+	}
+	check := func(name string, xs []float64, allowZero bool) error {
+		if xs == nil {
+			return nil
+		}
+		if len(xs) != in.N {
+			return fmt.Errorf("lifetime: %s has %d entries for %d sensors", name, len(xs), in.N)
+		}
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || (!allowZero && x == 0) {
+				return fmt.Errorf("lifetime: %s[%d] = %v invalid", name, i, x)
+			}
+		}
+		return nil
+	}
+	if err := check("initial", in.Initial, true); err != nil {
+		return err
+	}
+	if err := check("capacity", in.Capacity, false); err != nil {
+		return err
+	}
+	if err := check("recharge", in.Recharge, true); err != nil {
+		return err
+	}
+	for i := range in.Initial {
+		if in.Initial[i] > in.capacity(i)+chargeEps {
+			return fmt.Errorf("lifetime: initial[%d] = %v exceeds capacity %v", i, in.Initial[i], in.capacity(i))
+		}
+	}
+	for t, s := range in.Scale {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return fmt.Errorf("lifetime: scale[%d] = %v invalid", t, s)
+		}
+	}
+	return nil
+}
+
+// capacity, initial, recharge and scale apply the documented defaults.
+func (in *Instance) capacity(i int) float64 {
+	if in.Capacity == nil {
+		return 1
+	}
+	return in.Capacity[i]
+}
+
+func (in *Instance) initial(i int) float64 {
+	if in.Initial == nil {
+		return in.capacity(i)
+	}
+	return in.Initial[i]
+}
+
+func (in *Instance) recharge(i int) float64 {
+	if in.Recharge == nil {
+		return 0
+	}
+	return in.Recharge[i]
+}
+
+func (in *Instance) scale(t int) float64 {
+	if len(in.Scale) == 0 {
+		return 1
+	}
+	return in.Scale[t%len(in.Scale)]
+}
+
+// Batteries materializes the initial charge vector.
+func (in *Instance) Batteries() []float64 {
+	b := make([]float64, in.N)
+	for i := range b {
+		b[i] = in.initial(i)
+	}
+	return b
+}
+
+// Step advances the battery vector through one slot in place: sensors
+// in active (which must be sorted ascending) pay one active-slot unit,
+// everyone else harvests recharge·scale(t) clamped at capacity.
+func (in *Instance) Step(b []float64, active []int, t int) {
+	k := 0
+	for i := range b {
+		if k < len(active) && active[k] == i {
+			b[i] -= 1
+			k++
+			continue
+		}
+		if r := in.recharge(i) * in.scale(t); r > 0 {
+			b[i] += r
+			if cap := in.capacity(i); b[i] > cap {
+				b[i] = cap
+			}
+		}
+	}
+}
+
+// CanActivate reports whether sensor i can afford an active slot.
+func CanActivate(b []float64, i int) bool { return b[i] >= 1-chargeEps }
+
+// Covered reports whether the (sorted) active set satisfies the
+// instance's coverage requirement, and how many targets are K-covered.
+func (in *Instance) Covered(active []int) (bool, int) {
+	isActive := make(map[int]bool, len(active))
+	for _, v := range active {
+		isActive[v] = true
+	}
+	return in.coveredBy(func(v int) bool { return isActive[v] })
+}
+
+// coveredBy counts K-covered targets under the given membership
+// predicate and compares against the threshold.
+func (in *Instance) coveredBy(active func(int) bool) (bool, int) {
+	k := in.Kreq()
+	covered := 0
+	for _, tg := range in.Targets {
+		c := 0
+		for _, v := range tg.Covers {
+			if active(v) {
+				c++
+				if c >= k {
+					break
+				}
+			}
+		}
+		if c >= k {
+			covered++
+		}
+	}
+	return covered >= in.CoveredNeeded(), covered
+}
+
+// Schedule is an explicit per-slot activation sequence — unlike the
+// periodic core.Schedule, a lifetime schedule does not tile: slot t's
+// active set is exactly Active(t), and the schedule simply ends after
+// Slots() slots.
+type Schedule struct {
+	n     int
+	slots [][]int
+}
+
+// NewSchedule builds a schedule from explicit per-slot active sets.
+// Sets are defensively copied, sorted and validated against n.
+func NewSchedule(n int, slots [][]int) (*Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("lifetime: non-positive sensor count %d", n)
+	}
+	if len(slots) > MaxHorizon {
+		return nil, fmt.Errorf("lifetime: %d slots exceed MaxHorizon %d", len(slots), MaxHorizon)
+	}
+	s := &Schedule{n: n, slots: make([][]int, len(slots))}
+	for t, set := range slots {
+		cp := append([]int(nil), set...)
+		sort.Ints(cp)
+		for i, v := range cp {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("lifetime: slot %d activates sensor %d outside [0,%d)", t, v, n)
+			}
+			if i > 0 && cp[i-1] == v {
+				return nil, fmt.Errorf("lifetime: slot %d activates sensor %d twice", t, v)
+			}
+		}
+		s.slots[t] = cp
+	}
+	return s, nil
+}
+
+// NumSensors returns the ground-set size.
+func (s *Schedule) NumSensors() int { return s.n }
+
+// Slots returns the schedule length.
+func (s *Schedule) Slots() int { return len(s.slots) }
+
+// ActiveAt returns the (sorted) active set of slot t; empty beyond the
+// schedule's end. The returned slice must not be modified.
+func (s *Schedule) ActiveAt(t int) []int {
+	if t < 0 || t >= len(s.slots) {
+		return nil
+	}
+	return s.slots[t]
+}
+
+// Result is a planner's output: the schedule and the lifetime it
+// claims, which Verify re-derives independently.
+type Result struct {
+	// Schedule holds exactly Lifetime slots (the covered prefix).
+	Schedule *Schedule
+	// Lifetime is the number of slots of sustained coverage.
+	Lifetime int
+	// Algorithm names the producing planner ("hef", "strip-cover",
+	// "lifetime-exact").
+	Algorithm string
+	// Groups is the cover-group count (strip-cover only, 0 otherwise).
+	Groups int
+	// Horizon echoes the instance horizon the plan was computed
+	// against (Lifetime == Horizon means the schedule never died).
+	Horizon int
+}
+
+// CheckBatteryFeasible verifies the schedule against the instance's
+// battery dynamics: no sensor is ever activated without the charge for
+// a full active slot.
+func (in *Instance) CheckBatteryFeasible(s *Schedule) error {
+	if s.n != in.N {
+		return fmt.Errorf("lifetime: schedule covers %d sensors, instance %d", s.n, in.N)
+	}
+	b := in.Batteries()
+	for t := 0; t < s.Slots(); t++ {
+		active := s.ActiveAt(t)
+		for _, v := range active {
+			if !CanActivate(b, v) {
+				return fmt.Errorf("lifetime: slot %d activates sensor %d with charge %v < 1", t, v, b[v])
+			}
+		}
+		in.Step(b, active, t)
+	}
+	return nil
+}
+
+// Lifetime evaluates the schedule's covered prefix: the number of
+// leading slots whose active set satisfies the coverage requirement.
+// Slots beyond the schedule's end are uncovered by definition, so the
+// result is at most s.Slots() (and at most the instance horizon).
+func (in *Instance) Lifetime(s *Schedule) int {
+	max := s.Slots()
+	if in.Horizon > 0 && in.Horizon < max {
+		max = in.Horizon
+	}
+	for t := 0; t < max; t++ {
+		if ok, _ := in.Covered(s.ActiveAt(t)); !ok {
+			return t
+		}
+	}
+	return max
+}
+
+// Verify is the full feasibility audit every planner output must pass:
+// the schedule is battery-feasible, its covered prefix equals the
+// claimed lifetime, and the schedule carries no slots beyond its
+// lifetime (a trailing uncovered slot would hide a planner bug).
+func (in *Instance) Verify(r *Result) error {
+	if r == nil || r.Schedule == nil {
+		return errors.New("lifetime: nil result")
+	}
+	if err := in.CheckBatteryFeasible(r.Schedule); err != nil {
+		return err
+	}
+	if got := in.Lifetime(r.Schedule); got != r.Lifetime {
+		return fmt.Errorf("lifetime: claimed lifetime %d, evaluator says %d", r.Lifetime, got)
+	}
+	if r.Schedule.Slots() != r.Lifetime {
+		return fmt.Errorf("lifetime: schedule has %d slots for lifetime %d", r.Schedule.Slots(), r.Lifetime)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+)
+
+// chain builds the simplest interesting instance: m targets, each
+// covered by a private pair of sensors (sensor 2j and 2j+1 cover
+// target j).
+func chainInstance(m, horizon int) *Instance {
+	targets := make([]Target, m)
+	for j := range targets {
+		targets[j] = Target{Covers: []int{2 * j, 2*j + 1}}
+	}
+	return &Instance{N: 2 * m, Targets: targets, Horizon: horizon}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	good := chainInstance(3, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*Instance)
+	}{
+		{"no-sensors", func(in *Instance) { in.N = 0 }},
+		{"no-targets", func(in *Instance) { in.Targets = nil }},
+		{"coverer-out-of-range", func(in *Instance) { in.Targets[0].Covers = []int{99} }},
+		{"negative-k", func(in *Instance) { in.K = -1 }},
+		{"threshold-above-one", func(in *Instance) { in.Threshold = 1.5 }},
+		{"nan-threshold", func(in *Instance) { in.Threshold = math.NaN() }},
+		{"zero-horizon", func(in *Instance) { in.Horizon = 0 }},
+		{"huge-horizon", func(in *Instance) { in.Horizon = MaxHorizon + 1 }},
+		{"short-initial", func(in *Instance) { in.Initial = []float64{1} }},
+		{"negative-recharge", func(in *Instance) { in.Recharge = negSlice(in.N) }},
+		{"zero-capacity", func(in *Instance) { in.Capacity = make([]float64, in.N) }},
+		{"initial-above-capacity", func(in *Instance) {
+			in.Initial = fill(in.N, 2)
+			in.Capacity = fill(in.N, 1)
+		}},
+		{"nan-scale", func(in *Instance) { in.Scale = []float64{math.NaN()} }},
+	}
+	for _, c := range cases {
+		in := chainInstance(3, 10)
+		c.mod(in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCoveredThresholdAndK(t *testing.T) {
+	in := &Instance{
+		N: 4, Horizon: 1,
+		Targets: []Target{
+			{Covers: []int{0, 1}},
+			{Covers: []int{2, 3}},
+		},
+	}
+	if ok, n := in.Covered([]int{0, 2}); !ok || n != 2 {
+		t.Errorf("full cover: ok=%v n=%d", ok, n)
+	}
+	if ok, n := in.Covered([]int{0}); ok || n != 1 {
+		t.Errorf("half cover at threshold 1: ok=%v n=%d", ok, n)
+	}
+	in.Threshold = 0.5
+	if ok, _ := in.Covered([]int{0}); !ok {
+		t.Error("half cover rejected at threshold 0.5")
+	}
+	in.Threshold = 0
+	in.K = 2
+	if ok, _ := in.Covered([]int{0, 2, 3}); ok {
+		t.Error("k=2 satisfied with one coverer on target 0")
+	}
+	if ok, _ := in.Covered([]int{0, 1, 2, 3}); !ok {
+		t.Error("k=2 rejected with both pairs full")
+	}
+}
+
+func TestStepAndBatteryFeasibility(t *testing.T) {
+	in := &Instance{
+		N:        2,
+		Targets:  []Target{{Covers: []int{0, 1}}},
+		Horizon:  6,
+		Recharge: []float64{0.5, 0},
+		Capacity: []float64{2, 1},
+		Initial:  []float64{2, 1},
+	}
+	b := in.Batteries()
+	in.Step(b, []int{0}, 0) // 0 active, 1 rests (no recharge)
+	if b[0] != 1 || b[1] != 1 {
+		t.Fatalf("after step: %v", b)
+	}
+	in.Step(b, []int{1}, 1) // 0 rests (+0.5), 1 active
+	if b[0] != 1.5 || b[1] != 0 {
+		t.Fatalf("after step 2: %v", b)
+	}
+	// Clamp at capacity.
+	in.Step(b, nil, 2)
+	in.Step(b, nil, 3)
+	if b[0] != 2 {
+		t.Fatalf("capacity clamp: %v", b)
+	}
+
+	// A schedule that activates a drained sensor must fail the checker.
+	s, err := NewSchedule(2, [][]int{{1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckBatteryFeasible(s); err == nil {
+		t.Error("drained activation passed CheckBatteryFeasible")
+	}
+	// Alternating the pair is feasible.
+	s, err = NewSchedule(2, [][]int{{1}, {0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckBatteryFeasible(s); err != nil {
+		t.Errorf("alternating schedule infeasible: %v", err)
+	}
+}
+
+func TestScaleTilingAndStreaks(t *testing.T) {
+	// Recharge 1 per rest slot, but the weather scale kills harvesting
+	// on odd slots: a sensor drained at slot 0 is only full again after
+	// an even rest slot.
+	in := &Instance{
+		N:        1,
+		Targets:  []Target{{Covers: []int{0}}},
+		Horizon:  8,
+		Recharge: []float64{1},
+		Scale:    []float64{1, 0},
+	}
+	b := in.Batteries()
+	in.Step(b, []int{0}, 0)
+	if b[0] != 0 {
+		t.Fatalf("after active slot: %v", b)
+	}
+	in.Step(b, nil, 1) // scale 0: no harvest
+	if b[0] != 0 {
+		t.Fatalf("harvested during streak: %v", b)
+	}
+	in.Step(b, nil, 2) // scale tiles back to 1
+	if b[0] != 1 {
+		t.Fatalf("no harvest on clear slot: %v", b)
+	}
+}
+
+func TestLifetimeEvaluator(t *testing.T) {
+	in := chainInstance(2, 10)
+	// Covered, covered, gap, covered: lifetime is the prefix length 2.
+	s, err := NewSchedule(in.N, [][]int{{0, 2}, {1, 3}, {}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Lifetime(s); got != 2 {
+		t.Errorf("Lifetime = %d, want 2", got)
+	}
+	// The evaluator never credits beyond the horizon.
+	in.Horizon = 1
+	if got := in.Lifetime(s); got != 1 {
+		t.Errorf("Lifetime beyond horizon = %d, want 1", got)
+	}
+}
+
+func TestVerifyRejectsBadClaims(t *testing.T) {
+	in := chainInstance(1, 4)
+	in.Recharge = fill(in.N, 1)
+	s, err := NewSchedule(in.N, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Result{Schedule: s, Lifetime: 2}
+	if err := in.Verify(good); err != nil {
+		t.Errorf("good result rejected: %v", err)
+	}
+	if err := in.Verify(&Result{Schedule: s, Lifetime: 3}); err == nil {
+		t.Error("inflated lifetime accepted")
+	}
+	if err := in.Verify(nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	// Trailing uncovered slots must be rejected even when the claimed
+	// prefix matches.
+	long, err := NewSchedule(in.N, [][]int{{0}, {1}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Verify(&Result{Schedule: long, Lifetime: 2}); err == nil {
+		t.Error("trailing uncovered slot accepted")
+	}
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(0, nil); err == nil {
+		t.Error("zero sensors accepted")
+	}
+	if _, err := NewSchedule(2, [][]int{{2}}); err == nil {
+		t.Error("out-of-range sensor accepted")
+	}
+	if _, err := NewSchedule(2, [][]int{{1, 1}}); err == nil {
+		t.Error("duplicate activation accepted")
+	}
+	s, err := NewSchedule(2, [][]int{{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ActiveAt(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("ActiveAt(0) = %v, want sorted [0 1]", got)
+	}
+	if got := s.ActiveAt(5); got != nil {
+		t.Errorf("ActiveAt beyond end = %v", got)
+	}
+}
+
+func fill(n int, x float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = x
+	}
+	return xs
+}
+
+func negSlice(n int) []float64 {
+	xs := fill(n, 0.5)
+	xs[0] = -1
+	return xs
+}

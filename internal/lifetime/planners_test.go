@@ -1,0 +1,319 @@
+package lifetime
+
+import (
+	"reflect"
+	"testing"
+
+	"cool/internal/stats"
+)
+
+func TestHEFPairChains(t *testing.T) {
+	// Two private sensors per target, unit batteries, no recharge: each
+	// pair sustains exactly two slots.
+	in := chainInstance(3, 10)
+	res, err := HEF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime != 2 {
+		t.Errorf("HEF lifetime = %d, want 2", res.Lifetime)
+	}
+	if err := in.Verify(res); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+
+	// With instant recharge the pair alternates forever (to horizon).
+	in = chainInstance(3, 10)
+	in.Recharge = fill(in.N, 1)
+	res, err = HEF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime != 10 {
+		t.Errorf("HEF lifetime with recharge 1 = %d, want horizon 10", res.Lifetime)
+	}
+	if err := in.Verify(res); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestHEFHighEnergyFirstOrder(t *testing.T) {
+	// Target covered by sensors 0 and 1; sensor 1 starts with more
+	// charge, so HEF must draft it first despite the higher id.
+	in := &Instance{
+		N:        2,
+		Targets:  []Target{{Covers: []int{0, 1}}},
+		Horizon:  4,
+		Capacity: []float64{3, 3},
+		Initial:  []float64{1, 2},
+	}
+	res, err := HEF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.ActiveAt(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("slot 0 active = %v, want [1] (higher energy)", got)
+	}
+	if res.Lifetime != 3 {
+		t.Errorf("lifetime = %d, want 3 (batteries 1+2)", res.Lifetime)
+	}
+}
+
+func TestStripCoverGroupsDisjointAndCovering(t *testing.T) {
+	in := chainInstance(3, 10)
+	groups, err := CoverGroups(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 disjoint covers", groups)
+	}
+	seen := map[int]bool{}
+	for _, g := range groups {
+		if ok, _ := in.Covered(g); !ok {
+			t.Errorf("group %v does not cover", g)
+		}
+		for _, v := range g {
+			if seen[v] {
+				t.Errorf("sensor %d in two groups", v)
+			}
+			seen[v] = true
+		}
+	}
+
+	res, err := StripCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime != 2 {
+		t.Errorf("strip-cover lifetime = %d, want 2", res.Lifetime)
+	}
+	if res.Groups != 2 {
+		t.Errorf("result groups = %d, want 2", res.Groups)
+	}
+	if err := in.Verify(res); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestStripCoverSustainsUnderRecharge(t *testing.T) {
+	// Two disjoint covers rotating round-robin: one duty slot, one rest
+	// slot. Recharge 1 refills the battery during the rest slot, so the
+	// rotation sustains to the horizon.
+	in := chainInstance(2, 12)
+	in.Recharge = fill(in.N, 1)
+	res, err := StripCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime != 12 {
+		t.Errorf("lifetime = %d, want 12", res.Lifetime)
+	}
+	if err := in.Verify(res); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestStripCoverNoDisjointCover(t *testing.T) {
+	// Both targets share the single sensor 0 with target-private
+	// partners absent: only one cover group exists, and after removing
+	// it no second group covers.
+	in := &Instance{
+		N:       2,
+		Targets: []Target{{Covers: []int{0}}, {Covers: []int{0, 1}}},
+		Horizon: 5,
+	}
+	groups, err := CoverGroups(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v, want exactly 1", groups)
+	}
+	res, err := StripCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime != 1 {
+		t.Errorf("lifetime = %d, want 1 (single unit-battery cover)", res.Lifetime)
+	}
+}
+
+func TestExactKnownOptima(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *Instance
+		want int
+	}{
+		{"pair-chain-no-recharge", chainInstance(2, 8), 2},
+		{"pair-chain-recharge-half", func() *Instance {
+			in := chainInstance(1, 8)
+			in.Recharge = fill(in.N, 0.5)
+			return in
+		}(), 2},
+		{"pair-chain-full-recharge", func() *Instance {
+			in := chainInstance(1, 6)
+			in.Recharge = fill(in.N, 1)
+			return in
+		}(), 6},
+		{"k2-three-coverers", &Instance{
+			N: 3, K: 2, Horizon: 5,
+			Targets: []Target{{Covers: []int{0, 1, 2}}},
+		}, 1},
+		{"k2-four-coverers", &Instance{
+			N: 4, K: 2, Horizon: 5,
+			Targets: []Target{{Covers: []int{0, 1, 2, 3}}},
+		}, 2},
+		{"threshold-half", &Instance{
+			N: 2, Threshold: 0.5, Horizon: 5,
+			Targets: []Target{{Covers: []int{0}}, {Covers: []int{1}}},
+		}, 2},
+		{"streak-kills-recharge", func() *Instance {
+			// Recharge 1 but a dead envelope: batteries never refill,
+			// so the pair still only lasts 2 slots.
+			in := chainInstance(1, 8)
+			in.Recharge = fill(in.N, 1)
+			in.Scale = []float64{0}
+			return in
+		}(), 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Exact(c.in, ExactOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Lifetime != c.want {
+				t.Errorf("exact lifetime = %d, want %d", res.Lifetime, c.want)
+			}
+			if err := c.in.Verify(res); err != nil {
+				t.Errorf("Verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestExactRejectsLargeInstances(t *testing.T) {
+	in := chainInstance(20, 4) // 40 sensors
+	if _, err := Exact(in, ExactOptions{}); err == nil {
+		t.Error("40-sensor instance accepted")
+	}
+	in = chainInstance(2, 4)
+	if _, err := Exact(in, ExactOptions{MaxNodes: 1}); err == nil {
+		t.Error("node budget 1 not enforced")
+	}
+}
+
+// randomInstance draws a small random lifetime instance exercising
+// every scenario axis: k-coverage, threshold, heterogeneous recharge
+// (per-sensor ρ), capacities above 1, and weather envelopes with
+// adversarial zero streaks.
+func randomInstance(rng *stats.RNG, maxN int) *Instance {
+	n := 2 + rng.Intn(maxN-1)
+	m := 1 + rng.Intn(3)
+	targets := make([]Target, m)
+	for j := range targets {
+		var covers []int
+		for v := 0; v < n; v++ {
+			if rng.Bernoulli(0.6) {
+				covers = append(covers, v)
+			}
+		}
+		if len(covers) == 0 {
+			covers = []int{rng.Intn(n)}
+		}
+		targets[j] = Target{Covers: covers}
+	}
+	in := &Instance{
+		N:       n,
+		Targets: targets,
+		Horizon: 2 + rng.Intn(5),
+	}
+	if rng.Bernoulli(0.3) {
+		in.K = 2
+	}
+	if rng.Bernoulli(0.3) {
+		in.Threshold = 0.5
+	}
+	if rng.Bernoulli(0.7) {
+		in.Recharge = make([]float64, n)
+		for i := range in.Recharge {
+			// Heterogeneous ρ ∈ {1, 2, 4} plus dead panels.
+			in.Recharge[i] = []float64{0, 1, 0.5, 0.25}[rng.Intn(4)]
+		}
+	}
+	if rng.Bernoulli(0.5) {
+		in.Capacity = make([]float64, n)
+		in.Initial = make([]float64, n)
+		for i := range in.Capacity {
+			in.Capacity[i] = float64(1 + rng.Intn(2))
+			in.Initial[i] = in.Capacity[i]
+		}
+	}
+	if rng.Bernoulli(0.5) {
+		// Weather envelope with a zero streak somewhere.
+		L := 2 + rng.Intn(3)
+		in.Scale = make([]float64, L)
+		for t := range in.Scale {
+			in.Scale[t] = []float64{0, 0.5, 1}[rng.Intn(3)]
+		}
+	}
+	return in
+}
+
+// TestCrossCheckAgainstExact is the acceptance cross-check: on random
+// tiny instances both heuristics must produce verifiable schedules
+// whose lifetime never exceeds the exhaustive optimum.
+func TestCrossCheckAgainstExact(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for i := 0; i < 120; i++ {
+		in := randomInstance(rng, 6)
+		exact, err := Exact(in, ExactOptions{})
+		if err != nil {
+			t.Fatalf("case %d: exact: %v (instance %+v)", i, err, in)
+		}
+		if err := in.Verify(exact); err != nil {
+			t.Fatalf("case %d: exact verify: %v", i, err)
+		}
+		hef, err := HEF(in)
+		if err != nil {
+			t.Fatalf("case %d: hef: %v", i, err)
+		}
+		if err := in.Verify(hef); err != nil {
+			t.Errorf("case %d: hef verify: %v", i, err)
+		}
+		strip, err := StripCover(in)
+		if err != nil {
+			t.Fatalf("case %d: strip: %v", i, err)
+		}
+		if err := in.Verify(strip); err != nil {
+			t.Errorf("case %d: strip verify: %v", i, err)
+		}
+		if hef.Lifetime > exact.Lifetime {
+			t.Errorf("case %d: HEF %d beats exact %d (instance %+v)", i, hef.Lifetime, exact.Lifetime, in)
+		}
+		if strip.Lifetime > exact.Lifetime {
+			t.Errorf("case %d: strip-cover %d beats exact %d (instance %+v)", i, strip.Lifetime, exact.Lifetime, in)
+		}
+	}
+}
+
+func TestPlannersDeterministic(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for i := 0; i < 20; i++ {
+		in := randomInstance(rng, 8)
+		for _, plan := range []func(*Instance) (*Result, error){HEF, StripCover} {
+			a, err := plan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := plan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Lifetime != b.Lifetime || !reflect.DeepEqual(a.Schedule, b.Schedule) {
+				t.Fatalf("case %d: %s not deterministic", i, a.Algorithm)
+			}
+		}
+	}
+}

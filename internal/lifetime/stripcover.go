@@ -1,0 +1,150 @@
+package lifetime
+
+import "sort"
+
+// CoverGroups greedily partitions the sensors into disjoint groups,
+// each of which alone satisfies the instance's coverage requirement —
+// the set-cover packing at the heart of the Restricted Strip Covering
+// / Sensor Cover schedulers: disjoint covers are shifts, and rotating
+// the shifts multiplies lifetime by the group count while every
+// off-duty shift recharges.
+//
+// Each group is built target by target from the unassigned pool,
+// preferring the sensor that covers the most still-deficient targets
+// (ties to the lower id), the classical greedy set-cover rule. Group
+// construction stops the first time the pool cannot complete a group;
+// leftover sensors stay unassigned. At least one group must exist for
+// the partition to be a schedule.
+func CoverGroups(in *Instance) ([][]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	k := in.Kreq()
+	free := make([]bool, in.N)
+	for i := range free {
+		free[i] = true
+	}
+	var groups [][]int
+	for {
+		// deficit[j] is how many more coverers target j needs in the
+		// group under construction.
+		deficit := make([]int, len(in.Targets))
+		for j := range deficit {
+			deficit[j] = k
+		}
+		// gain(v) = number of still-deficient targets v would help.
+		coversOf := make(map[int][]int, in.N) // sensor -> target indices
+		for j, tg := range in.Targets {
+			for _, v := range tg.Covers {
+				coversOf[v] = append(coversOf[v], j)
+			}
+		}
+		inGroup := make([]bool, in.N)
+		var group []int
+		for {
+			done := true
+			for _, d := range deficit {
+				if d > 0 {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+			best, bestGain := -1, 0
+			for v := 0; v < in.N; v++ {
+				if !free[v] || inGroup[v] {
+					continue
+				}
+				g := 0
+				for _, j := range coversOf[v] {
+					if deficit[j] > 0 {
+						g++
+					}
+				}
+				if g > bestGain {
+					best, bestGain = v, g
+				}
+			}
+			if best < 0 {
+				break // pool exhausted for the remaining deficits
+			}
+			inGroup[best] = true
+			group = append(group, best)
+			for _, j := range coversOf[best] {
+				if deficit[j] > 0 {
+					deficit[j]--
+				}
+			}
+		}
+		ok, _ := in.coveredBy(func(v int) bool { return inGroup[v] })
+		if !ok {
+			break
+		}
+		sort.Ints(group)
+		groups = append(groups, group)
+		for _, v := range group {
+			free[v] = false
+		}
+	}
+	return groups, nil
+}
+
+// StripCover computes the shift schedule over the greedy cover-group
+// partition: slot t is served by group t mod G (members without the
+// charge for an active slot sit the shift out). If the scheduled
+// group's charged members miss the coverage requirement, the scheduler
+// scans the remaining groups cyclically for one that covers; when no
+// group covers, the run ends. Round-robin rotation gives every group
+// G−1 recharge slots per duty slot, the sustainability condition
+// recharge·(G−1) ≥ 1 of the shift-scheduling literature.
+func StripCover(in *Instance) (*Result, error) {
+	groups, err := CoverGroups(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 {
+		// No single disjoint cover exists: the empty schedule, lifetime 0.
+		s, err := NewSchedule(in.N, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, Lifetime: 0, Algorithm: "strip-cover", Horizon: in.Horizon}, nil
+	}
+	b := in.Batteries()
+	var slots [][]int
+	for t := 0; t < in.Horizon; t++ {
+		var set []int
+		found := false
+		for probe := 0; probe < len(groups); probe++ {
+			g := groups[(t+probe)%len(groups)]
+			set = set[:0]
+			for _, v := range g {
+				if CanActivate(b, v) {
+					set = append(set, v)
+				}
+			}
+			cur := set
+			ok, _ := in.coveredBy(func(v int) bool {
+				i := sort.SearchInts(cur, v)
+				return i < len(cur) && cur[i] == v
+			})
+			if ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		slot := append([]int(nil), set...)
+		slots = append(slots, slot)
+		in.Step(b, slot, t)
+	}
+	s, err := NewSchedule(in.N, slots)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, Lifetime: len(slots), Algorithm: "strip-cover", Groups: len(groups), Horizon: in.Horizon}, nil
+}

@@ -201,6 +201,17 @@ func SunnyPattern() (recharge, discharge time.Duration) {
 	return 45 * time.Minute, 15 * time.Minute
 }
 
+// HarvestScale returns the weather class's mean irradiance multiplier
+// relative to a sunny day — the per-slot harvesting scale the lifetime
+// planners consume (WeatherRain is a near-zero adversarial streak).
+func HarvestScale(w Weather) (float64, error) {
+	mean, _ := w.attenuation()
+	if mean == 0 {
+		return 0, fmt.Errorf("solar: unknown weather %v", w)
+	}
+	return mean, nil
+}
+
 // PatternFor estimates the (Tr, Td) charging pattern for a weather
 // class and panel count, anchored on the measured sunny single-panel
 // pattern. Discharge time is weather-independent (fixed active-mode

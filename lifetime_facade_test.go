@@ -1,0 +1,212 @@
+package cool
+
+import (
+	"testing"
+
+	"cool/internal/submodular"
+)
+
+// pairUtility builds the two-target, two-private-pairs coverage
+// utility: sensors {0,1} cover target 0, sensors {2,3} cover target 1.
+func pairUtility(t *testing.T) Utility {
+	t.Helper()
+	u, err := submodular.NewCoverageUtility(4, []submodular.CoverageItem{
+		{Value: 1, CoveredBy: []int{0, 1}},
+		{Value: 1, CoveredBy: []int{2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coverageUtility{u}
+}
+
+func lifetimePlanner(t *testing.T, rho float64) *Planner {
+	t.Helper()
+	period, err := PeriodFromRho(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(pairUtility(t), period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanLifetimeDefaultsFromPeriod(t *testing.T) {
+	// ρ = 1: recharge defaults to 1/ρ = 1 per rest slot, so the private
+	// pairs alternate forever and lifetime hits the default horizon
+	// 4·Slots() = 8.
+	p := lifetimePlanner(t, 1)
+	res, err := p.Plan(PlanRequest{Objective: ObjectiveLifetime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime.Lifetime != 8 {
+		t.Errorf("lifetime = %d, want default horizon 8", res.Lifetime.Lifetime)
+	}
+
+	// ρ = 3 (slots = 4, default horizon 16): recharge 1/3 per rest
+	// slot means a drained sensor needs three rest slots; the pair
+	// covers 2 slots then both sit out one slot — coverage breaks.
+	p = lifetimePlanner(t, 3)
+	res, err = p.Plan(PlanRequest{Objective: ObjectiveLifetime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime.Lifetime != 2 {
+		t.Errorf("lifetime under ρ=3 = %d, want 2", res.Lifetime.Lifetime)
+	}
+}
+
+func TestPlanLifetimeAlgorithmsAgreeOnTinyInstance(t *testing.T) {
+	p := lifetimePlanner(t, 1)
+	opts := &LifetimeOptions{Horizon: 6}
+	var got = map[Algorithm]int{}
+	for _, alg := range []Algorithm{AlgorithmHEF, AlgorithmStripCover, AlgorithmLifetimeExact} {
+		res, err := p.Plan(PlanRequest{Objective: ObjectiveLifetime, Algorithm: alg, Lifetime: opts})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Algorithm != alg {
+			t.Errorf("echoed algorithm %q, want %q", res.Algorithm, alg)
+		}
+		got[alg] = res.Lifetime.Lifetime
+	}
+	// Instant recharge with disjoint pair shifts: everyone sustains to
+	// the horizon, including the exhaustive reference.
+	for alg, life := range got {
+		if life != 6 {
+			t.Errorf("%s lifetime = %d, want 6", alg, life)
+		}
+	}
+}
+
+func TestPlanLifetimeHeterogeneousRecharge(t *testing.T) {
+	// Sensors 2,3 (covering target 1) have dead panels: once their
+	// initial unit batteries are spent after two slots, target 1 can
+	// never be covered again regardless of how well 0,1 harvest.
+	p := lifetimePlanner(t, 1)
+	res, err := p.Plan(PlanRequest{
+		Objective: ObjectiveLifetime,
+		Lifetime: &LifetimeOptions{
+			Horizon:  10,
+			Recharge: []float64{1, 1, 0, 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime.Lifetime != 2 {
+		t.Errorf("lifetime with dead panels on one pair = %d, want 2", res.Lifetime.Lifetime)
+	}
+}
+
+func TestPlanLifetimeWeatherStreak(t *testing.T) {
+	p := lifetimePlanner(t, 1)
+
+	// A clean sunny envelope sustains the rotation to the horizon.
+	sunny := make([]Weather, 8)
+	for i := range sunny {
+		sunny[i] = WeatherSunny
+	}
+	res, err := p.Plan(PlanRequest{Objective: ObjectiveLifetime, Lifetime: &LifetimeOptions{
+		Horizon: 8, Weather: sunny,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime.Lifetime != 8 {
+		t.Fatalf("sunny lifetime = %d, want 8", res.Lifetime.Lifetime)
+	}
+
+	// Injecting an adversarial rain streak starves harvesting
+	// (scale 0.04) and strictly shortens the lifetime.
+	rainy, err := InjectWeatherStreak(sunny, 2, 4, WeatherRain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Plan(PlanRequest{Objective: ObjectiveLifetime, Lifetime: &LifetimeOptions{
+		Horizon: 8, Weather: rainy,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime.Lifetime >= 8 {
+		t.Errorf("lifetime under rain streak = %d, want < 8", res.Lifetime.Lifetime)
+	}
+}
+
+func TestWeatherHarvestScale(t *testing.T) {
+	scale, err := WeatherHarvestScale([]Weather{WeatherSunny, WeatherPartlyCloudy, WeatherOvercast, WeatherRain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.0, 0.65, 0.30, 0.04}
+	for i, w := range want {
+		if scale[i] != w {
+			t.Errorf("scale[%d] = %v, want %v", i, scale[i], w)
+		}
+	}
+	if _, err := WeatherHarvestScale(nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := WeatherHarvestScale([]Weather{Weather(0)}); err == nil {
+		t.Error("unknown weather accepted")
+	}
+	if _, err := InjectWeatherStreak([]Weather{WeatherSunny}, 0, 2, WeatherRain); err == nil {
+		t.Error("out-of-range streak accepted")
+	}
+}
+
+func TestPlanLifetimeRejections(t *testing.T) {
+	p := lifetimePlanner(t, 1)
+	if _, err := p.Plan(PlanRequest{Objective: ObjectiveLifetime, Lifetime: &LifetimeOptions{
+		Scale:   []float64{1},
+		Weather: []Weather{WeatherSunny},
+	}}); err == nil {
+		t.Error("Scale+Weather accepted together")
+	}
+
+	// The probabilistic detection utility has no binary coverage
+	// semantics — the lifetime objective must reject it.
+	du, err := submodular.NewDetectionUtility(2, []submodular.DetectionTarget{
+		{Weight: 1, Probs: map[int]float64{0: 0.5, 1: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, _ := PeriodFromRho(1)
+	dp, err := NewPlanner(detectionUtility{du}, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.Plan(PlanRequest{Objective: ObjectiveLifetime}); err == nil {
+		t.Error("detection utility accepted under lifetime objective")
+	}
+}
+
+func TestLifetimeOf(t *testing.T) {
+	p := lifetimePlanner(t, 1)
+	opts := &LifetimeOptions{Horizon: 4}
+	s, err := NewLifetimeSchedule(4, [][]int{{0, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	life, err := p.LifetimeOf(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life != 2 {
+		t.Errorf("LifetimeOf = %d, want 2", life)
+	}
+	// A schedule that double-spends sensor 0 without recharge room is
+	// battery-infeasible.
+	bad, err := NewLifetimeSchedule(4, [][]int{{0, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LifetimeOf(bad, &LifetimeOptions{Horizon: 4, Recharge: []float64{0, 0, 0, 0}}); err == nil {
+		t.Error("battery-infeasible schedule accepted")
+	}
+}
