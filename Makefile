@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard bench-replan bench-lifetime coold-e2e figures examples fuzz clean
+.PHONY: all build test test-short race vet bench bench-parallel bench-mem bench-grid bench-netsim bench-kernels bench-shard bench-replan bench-lifetime coold-e2e coold-crash figures examples fuzz clean
 
 all: build vet test
 
@@ -104,6 +104,18 @@ coold-e2e:
 	$(GO) test -race ./internal/controlplane/ ./cmd/coold/
 	$(GO) test ./internal/controlplane/ -fuzz FuzzWireDecode -fuzztime 30s
 
+# Durability gate: the crash-point sweep (WAL recovery differential at
+# every byte offset of a recorded session), the restart and
+# watcher-vs-poller e2e differentials, and the daemon's TCP restart
+# test, all under the race detector — then a 30s fuzz of the WAL
+# replay path (decode never panics; accepted logs are serialization
+# fixed points).
+coold-crash:
+	$(GO) vet ./internal/controlplane/ ./cmd/coold/
+	$(GO) test -race -run 'TestCrash|TestWAL|TestStore|TestRestore|TestGoldenWAL|TestE2ERestartDifferential|TestE2EWatcher|TestE2EWatch|TestE2EObjective' -v ./internal/controlplane/
+	$(GO) test -race -run 'TestRunDurableRestart' -v ./cmd/coold/
+	$(GO) test ./internal/controlplane/ -fuzz FuzzWALReplay -fuzztime 30s
+
 # Regenerate every paper figure and ablation into results/.
 figures:
 	$(GO) run ./cmd/coolbench -fig all -out results/
@@ -125,6 +137,7 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzIncrementalEquivalence -fuzztime 30s
 	$(GO) test ./internal/controlplane/ -fuzz FuzzWireDecode -fuzztime 30s
 	$(GO) test ./internal/lifetime/ -fuzz FuzzLifetimeFeasibility -fuzztime 30s
+	$(GO) test ./internal/controlplane/ -fuzz FuzzWALReplay -fuzztime 30s
 
 # Scope cleanup to generated artifacts only: `go clean -fuzzcache`
 # drops the cached fuzz corpora under GOCACHE, never the committed

@@ -5,11 +5,19 @@
 // internal/controlplane. The replan path runs the incremental
 // Repairer, so a perturbation costs O(perturbation), not O(fleet).
 //
-//	coold -addr 127.0.0.1:7946 -jobs 8 -max-sensors 100000
+//	coold -addr 127.0.0.1:7946 -jobs 8 -max-sensors 100000 -data-dir /var/lib/coold
+//
+// With -data-dir the daemon is durable: every admission event is
+// appended to a CRC-guarded write-ahead log (synced before the client
+// is answered) and compacted into a checkpoint every -checkpoint-every
+// events, so a restart replays registry → normalizer → admission to a
+// state bit-identical to the daemon that never stopped. Without the
+// flag, state is in-memory as before.
 //
 // Serving state changes without redeploy: suspend/resume/reset a
 // deployment or reconfigure admission limits through control
-// requests. SIGINT/SIGTERM stop the daemon gracefully.
+// requests. SIGINT/SIGTERM stop the daemon gracefully, flushing a
+// final checkpoint when a data dir is attached.
 package main
 
 import (
@@ -44,6 +52,8 @@ func run(args []string, out io.Writer, ready func(addr string, stop func())) err
 		sensors = fs.Int("max-sensors", controlplane.DefaultMaxSensors, "admission limit: sensors per snapshot")
 		targets = fs.Int("max-targets", controlplane.DefaultMaxTargets, "admission limit: targets per snapshot")
 		deploys = fs.Int("max-deployments", controlplane.DefaultMaxDeployments, "admission limit: snapshots per tenant")
+		dataDir = fs.String("data-dir", "", "durable state directory (empty = in-memory only)")
+		ckEvery = fs.Int("checkpoint-every", controlplane.DefaultCheckpointEvery, "compact the WAL into a checkpoint every N admission events")
 		verbose = fs.Bool("v", false, "log every admission and serving event")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +74,23 @@ func run(args []string, out io.Writer, ready func(addr string, stop func())) err
 			}
 		},
 	})
+
+	if *dataDir != "" {
+		store, recovered, err := controlplane.OpenStore(*dataDir, controlplane.StoreOptions{CheckpointEvery: *ckEvery})
+		if err != nil {
+			return err
+		}
+		stats, err := srv.UseStore(store, recovered)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		if stats.TornTail != nil {
+			logger.Printf("recovery: %v (clean prefix kept)", stats.TornTail)
+		}
+		logger.Printf("recovered %d snapshots across %d tenants (%d from checkpoint, %d WAL records) from %s",
+			stats.Snapshots, stats.Tenants, stats.Checkpointed, stats.Records, *dataDir)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -86,6 +113,7 @@ func run(args []string, out io.Writer, ready func(addr string, stop func())) err
 		<-done
 		return nil
 	case err := <-done:
+		srv.Close() // flush the final checkpoint even on listener failure
 		return err
 	}
 }

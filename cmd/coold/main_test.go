@@ -2,11 +2,35 @@ package main
 
 import (
 	"bytes"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"cool/internal/controlplane"
 )
+
+// bootCoold starts run() with the given extra flags on an ephemeral
+// port and returns the bound address plus the stop seam.
+func bootCoold(t *testing.T, out *bytes.Buffer, extra ...string) (addr string, stop func(), done chan error) {
+	t.Helper()
+	started := make(chan struct {
+		addr string
+		stop func()
+	}, 1)
+	done = make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-jobs", "2", "-v"}, extra...)
+	go func() {
+		done <- run(args, out, func(addr string, stop func()) {
+			started <- struct {
+				addr string
+				stop func()
+			}{addr, stop}
+		})
+	}()
+	boot := <-started
+	return boot.addr, boot.stop, done
+}
 
 func TestRunBadFlag(t *testing.T) {
 	var out bytes.Buffer
@@ -93,5 +117,105 @@ func TestRunServesTCP(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "listening on") {
 		t.Fatalf("missing startup log in output: %q", out.String())
+	}
+}
+
+// TestRunDurableRestart boots the daemon with a data directory, admits
+// and plans a deployment over TCP (with a watcher receiving the pushed
+// schedule over the real socket), stops it, and boots a second daemon
+// on the same directory: the snapshot must be recovered and planned
+// bit-identically, with the objective surfaced through list and query.
+func TestRunDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := controlplane.DeploymentSpec{
+		Rho: 3,
+		Sensors: []controlplane.SensorSpec{
+			{X: 10, Y: 10, Range: 20},
+			{X: 30, Y: 10, Range: 20},
+			{X: 20, Y: 30, Range: 20},
+		},
+		Targets: []controlplane.TargetSpec{{X: 20, Y: 15}, {X: 22, Y: 25}},
+	}
+
+	var out1 bytes.Buffer
+	addr, stop, done := bootCoold(t, &out1, "-data-dir", dir)
+	cli, err := controlplane.Dial(addr, "restart-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cli.Submit("acme", controlplane.SubmitRequest{Name: "durable-field", Spec: spec})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Watch over the real socket: the plan below must arrive as a push.
+	cliW, err := controlplane.Dial(addr, "restart-watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := cliW.Watch("acme", sub.Fingerprint)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	plan1, err := cli.Plan("acme", controlplane.PlanRequest{Fingerprint: sub.Fingerprint})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	ev, err := w.Next()
+	if err != nil || ev.Kind != controlplane.WatchEventPlan || ev.Plan == nil ||
+		math.Float64bits(ev.Plan.Utility) != math.Float64bits(plan1.Utility) {
+		t.Fatalf("pushed plan over TCP: %+v, %v (want utility %v)", ev, err, plan1.Utility)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("watcher close: %v", err)
+	}
+	cliW.Close()
+	cli.Close()
+	stop()
+	if err := <-done; err != nil {
+		t.Fatalf("first daemon: %v", err)
+	}
+
+	var out2 bytes.Buffer
+	addr2, stop2, done2 := bootCoold(t, &out2, "-data-dir", dir)
+	defer func() {
+		stop2()
+		<-done2
+	}()
+	if !strings.Contains(out2.String(), "recovered 1 snapshots across 1 tenants") {
+		t.Fatalf("missing recovery log: %q", out2.String())
+	}
+	cli2, err := controlplane.Dial(addr2, "restart-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	list, err := cli2.List("acme")
+	if err != nil || len(list.Snapshots) != 1 || list.Snapshots[0].Fingerprint != sub.Fingerprint {
+		t.Fatalf("restarted list: %+v, %v", list, err)
+	}
+	if list.Snapshots[0].Objective != "" {
+		t.Fatalf("objective %q before the restarted daemon planned", list.Snapshots[0].Objective)
+	}
+	plan2, err := cli2.Plan("acme", controlplane.PlanRequest{Fingerprint: sub.Fingerprint})
+	if err != nil {
+		t.Fatalf("restarted plan: %v", err)
+	}
+	if math.Float64bits(plan2.Utility) != math.Float64bits(plan1.Utility) {
+		t.Fatalf("restarted plan utility %v, want %v", plan2.Utility, plan1.Utility)
+	}
+	if plan2.Schedule == nil || plan1.Schedule == nil ||
+		!reflect.DeepEqual(plan2.Schedule.Assignment(), plan1.Schedule.Assignment()) {
+		t.Fatalf("restarted schedule diverges:\n got %+v\nwant %+v", plan2.Schedule, plan1.Schedule)
+	}
+	// The objective is established by the plan and surfaced in both
+	// list and query status.
+	list, err = cli2.List("acme")
+	if err != nil || list.Snapshots[0].Objective != controlplane.ObjectiveUtility {
+		t.Fatalf("objective in list after plan: %+v, %v", list, err)
+	}
+	qs, err := cli2.Query("acme", controlplane.QueryRequest{Fingerprint: sub.Fingerprint, What: controlplane.QueryStatus})
+	if err != nil || qs.Status == nil || qs.Status.Objective != controlplane.ObjectiveUtility {
+		t.Fatalf("objective in status after plan: %+v, %v", qs, err)
 	}
 }

@@ -168,8 +168,15 @@ func TestShardedRepairComposition(t *testing.T) {
 	if len(victims) == 0 {
 		t.Skip("no sensors straddle the first cut")
 	}
+	before := inc.Utility()
+	present := inc.NumPresent()
 	if _, err := inc.KillSensors(victims); err != nil {
 		t.Fatal(err)
+	}
+	for _, v := range victims {
+		if inc.Present(v) {
+			t.Fatalf("sensor %d still present after kill", v)
+		}
 	}
 	for i := 0; i < 16; i++ {
 		if inc.RepairAll().Moves == 0 {
@@ -194,5 +201,57 @@ func TestShardedRepairComposition(t *testing.T) {
 	// the same global yardstick.
 	if inc.Utility() <= 0 || res.Utility <= 0 {
 		t.Fatalf("degenerate utilities: repaired %v sharded %v", inc.Utility(), res.Utility)
+	}
+
+	// The ½ bound measured directly, not only through Gap's percentage:
+	// a fresh full replan over the surviving sensors (the same
+	// greedy-subset yardstick Gap uses) must itself be feasible, and the
+	// repaired schedule must retain at least half its utility.
+	full, err := inc.FullReplan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.CheckFeasible(period); err != nil {
+		t.Fatalf("infeasible fresh replan: %v", err)
+	}
+	fullU := pl.PeriodUtility(full)
+	if fullU <= 0 {
+		t.Fatalf("degenerate fresh-replan utility %v", fullU)
+	}
+	if repaired := inc.Utility(); repaired < fullU/2-1e-9 {
+		t.Fatalf("repaired utility %v below ½ of fresh replan %v", repaired, fullU)
+	}
+
+	// Deploy-back phase: the halo sensors return, the repairer absorbs
+	// the reverse perturbation, and the composed schedule recovers — at
+	// least the degraded utility, still feasible, still within the ½
+	// bound of a fresh replan over the restored deployment.
+	if _, err := inc.DeploySensors(victims); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if inc.RepairAll().Moves == 0 {
+			break
+		}
+	}
+	if inc.NumPresent() != present {
+		t.Fatalf("deploy-back restored %d sensors, want %d", inc.NumPresent(), present)
+	}
+	s2, err := inc.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CheckFeasible(period); err != nil {
+		t.Fatalf("infeasible schedule after deploy-back: %v", err)
+	}
+	gap2, err := inc.Gap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap2 > 50+1e-9 {
+		t.Fatalf("deploy-back repaired gap %v%% exceeds 50%%", gap2)
+	}
+	if rec := inc.Utility(); rec+1e-9 < before/2 {
+		t.Fatalf("recovered utility %v collapsed below half the pre-kill utility %v", rec, before)
 	}
 }

@@ -172,3 +172,94 @@ func (c *Client) Control(tenant string, req ControlRequest) (*ControlResponse, e
 	}
 	return resp.Control, nil
 }
+
+// Watcher is a live subscription to one deployment's push stream.
+// While a watcher is open its connection is dedicated to the stream:
+// calling other client methods on the same client interleaves requests
+// into the push stream and is a protocol error. Use a second client
+// for concurrent request traffic.
+type Watcher struct {
+	c      *Client
+	tenant string
+	// Fingerprint identifies the watched deployment.
+	Fingerprint string
+	// Events is the deployment's push-event counter at subscribe time;
+	// the first event from Next has Seq == Events+1.
+	Events uint64
+}
+
+// Watch subscribes to a deployment's schedule pushes: one WatchEvent
+// per successful plan/replan until Close or disconnect.
+func (c *Client) Watch(tenant, fingerprint string) (*Watcher, error) {
+	resp, err := c.roundTrip(&Request{Op: OpWatch, Tenant: tenant,
+		Watch: &WatchRequest{Fingerprint: fingerprint, Op: WatchSubscribe}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Watch == nil {
+		return nil, fmt.Errorf("controlplane: watch answered without body")
+	}
+	if !resp.Watch.Subscribed {
+		return nil, fmt.Errorf("controlplane: watch subscribe not acknowledged")
+	}
+	return &Watcher{c: c, tenant: tenant, Fingerprint: fingerprint, Events: resp.Watch.Events}, nil
+}
+
+// Next blocks for the deployment's next pushed event. It returns the
+// transport error (io.EOF on clean close) when the stream ends.
+func (w *Watcher) Next() (*WatchEvent, error) {
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	f, err := ReadFrame(w.c.r)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case FramePush:
+		return DecodeWatchEvent(f.Payload)
+	case FrameError:
+		return nil, DecodeWireError(f.Payload)
+	default:
+		return nil, fmt.Errorf("%w: push stream carried frame type %d", ErrBadFrameType, f.Type)
+	}
+}
+
+// Close unsubscribes and returns the connection to request/response
+// use, draining any pushes already in flight (the server removes the
+// subscription before answering, so the unsubscribe response is the
+// last stream frame).
+func (w *Watcher) Close() error {
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	f, err := encodeFrame(w.c.version, FrameRequest, &Request{Op: OpWatch, Tenant: w.tenant,
+		Watch: &WatchRequest{Fingerprint: w.Fingerprint, Op: WatchUnsubscribe}})
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(w.c.conn, f); err != nil {
+		return err
+	}
+	for {
+		ans, err := ReadFrame(w.c.r)
+		if err != nil {
+			return err
+		}
+		switch ans.Type {
+		case FramePush:
+			continue // in flight before the unsubscribe was processed
+		case FrameResponse:
+			resp, err := DecodeResponse(ans.Payload)
+			if err != nil {
+				return err
+			}
+			if resp.Watch == nil {
+				return fmt.Errorf("controlplane: unsubscribe answered without body")
+			}
+			return nil
+		case FrameError:
+			return DecodeWireError(ans.Payload)
+		default:
+			return fmt.Errorf("%w: unsubscribe answered with frame type %d", ErrBadFrameType, ans.Type)
+		}
+	}
+}

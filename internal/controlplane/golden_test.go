@@ -127,9 +127,36 @@ func goldenFrames(t *testing.T) []struct {
 			}}}),
 		mk("response-control", FrameResponse, &Response{Op: OpControl,
 			Control: &ControlResponse{Suspended: true}}),
+		// PR 10 additions: the watch protocol, pushed events, and the
+		// objective surfaced in query/list job state. They extend the
+		// corpus strictly — every frame above is byte-identical to the
+		// pre-watch corpus.
+		mk("request-watch-subscribe", FrameRequest, &Request{Op: OpWatch, Tenant: "acme",
+			Watch: &WatchRequest{Fingerprint: "deadbeef", Op: WatchSubscribe}}),
+		mk("request-watch-unsubscribe", FrameRequest, &Request{Op: OpWatch, Tenant: "acme",
+			Watch: &WatchRequest{Fingerprint: "deadbeef", Op: WatchUnsubscribe}}),
+		mk("response-watch-subscribed", FrameResponse, &Response{Op: OpWatch,
+			Watch: &WatchResponse{Subscribed: true, Watchers: 2, Events: 5}}),
+		mk("response-watch-unsubscribed", FrameResponse, &Response{Op: OpWatch,
+			Watch: &WatchResponse{Subscribed: false, Watchers: 1, Events: 7}}),
+		mk("push-plan", FramePush, &WatchEvent{Fingerprint: "deadbeef", Seq: 6, Kind: WatchEventPlan,
+			Plan: &PlanResponse{Engine: EngineIncremental, Schedule: placement, Utility: utility,
+				Mode: "placement", Slots: 4}}),
+		mk("push-replan", FramePush, &WatchEvent{Fingerprint: "deadbeef", Seq: 7, Kind: WatchEventReplan,
+			Replan: &ReplanResponse{Changed: 3, Dirty: 11, Rounds: 2, Moves: 4,
+				UtilityBefore: 7.25, Utility: 6.5, Schedule: placement}}),
+		mk("response-query-status-objective", FrameResponse, &Response{Op: OpQuery,
+			Query: &QueryResponse{Status: &StatusInfo{Fingerprint: "deadbeef", Name: "field-a",
+				Seq: 7, Mode: "placement", Slots: 4, Rho: 3, Present: 38, Live: true,
+				Objective: ObjectiveUtility, Watchers: 2}}}),
+		mk("response-list-objective", FrameResponse, &Response{Op: OpList,
+			List: &ListResponse{Snapshots: []SnapshotInfo{
+				{Fingerprint: "deadbeef", Name: "field-a", Seq: 7, Sensors: 2, Targets: 1, Objective: ObjectiveUtility},
+				{Fingerprint: "cafef00d", Name: "life-b", Seq: 9, Sensors: 2, Targets: 1, Objective: ObjectiveLifetime},
+			}}}),
 	}
 	for _, code := range []ErrorCode{CodeBadVersion, CodeBadFrame, CodeBadRequest,
-		CodeNotFound, CodeRejected, CodeConflict, CodeSuspended, CodeInternal} {
+		CodeNotFound, CodeRejected, CodeConflict, CodeSuspended, CodeInternal, CodeStorage} {
 		out = append(out, mk("error-"+string(code), FrameError,
 			&WireError{Code: code, Message: "golden " + string(code)}))
 	}

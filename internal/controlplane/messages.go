@@ -37,6 +37,10 @@ const (
 	CodeSuspended ErrorCode = "suspended"
 	// CodeInternal: the engine failed; the message carries the cause.
 	CodeInternal ErrorCode = "internal"
+	// CodeStorage: the durability layer failed to log the event (WAL
+	// append or checkpoint error) — the mutation was NOT admitted, so a
+	// restart cannot diverge from what the client was told.
+	CodeStorage ErrorCode = "storage"
 )
 
 // WireError is the payload of a FrameError. It implements error so the
@@ -79,6 +83,7 @@ const (
 	OpQuery   Op = "query"
 	OpList    Op = "list"
 	OpControl Op = "control"
+	OpWatch   Op = "watch"
 )
 
 // SensorSpec is one sensor of a deployment spec: a disk footprint at
@@ -321,6 +326,13 @@ type StatusInfo struct {
 	Suspended   bool    `json:"suspended"`
 	// Live reports whether an incremental session is established.
 	Live bool `json:"live"`
+	// Objective is the deployment's last-planned objective ("utility"
+	// or "lifetime"); empty until the first plan establishes one, so
+	// pre-objective encodings are byte-identical.
+	Objective string `json:"objective,omitempty"`
+	// Watchers counts connections subscribed to this deployment's push
+	// stream.
+	Watchers int `json:"watchers,omitempty"`
 }
 
 // ListRequest enumerates the tenant's admitted snapshots.
@@ -336,11 +348,79 @@ type SnapshotInfo struct {
 	Seq         uint64 `json:"seq"`
 	Sensors     int    `json:"sensors"`
 	Targets     int    `json:"targets"`
+	// Objective is the deployment's last-planned objective; empty until
+	// a plan establishes one (pre-objective encodings byte-identical).
+	Objective string `json:"objective,omitempty"`
 }
 
 // ListResponse carries the tenant's snapshots in admission order.
 type ListResponse struct {
 	Snapshots []SnapshotInfo `json:"snapshots"`
+}
+
+// Watch operations accepted by WatchRequest.Op.
+const (
+	// WatchSubscribe dedicates the connection to a deployment's push
+	// stream: after the WatchResponse, the server sends a FramePush per
+	// successful plan/replan until unsubscribe or disconnect.
+	WatchSubscribe = "subscribe"
+	// WatchUnsubscribe ends the connection's subscription to the
+	// deployment and returns it to request/response use.
+	WatchUnsubscribe = "unsubscribe"
+)
+
+// WatchRequest subscribes the connection to (or unsubscribes it from)
+// a deployment's schedule pushes.
+type WatchRequest struct {
+	Fingerprint string `json:"fingerprint"`
+	// Op is WatchSubscribe or WatchUnsubscribe.
+	Op string `json:"watch_op"`
+}
+
+// WatchResponse acknowledges a watch change.
+type WatchResponse struct {
+	// Subscribed reports the connection's subscription state for the
+	// deployment after the request.
+	Subscribed bool `json:"subscribed"`
+	// Watchers counts the deployment's subscribed connections after the
+	// request.
+	Watchers int `json:"watchers"`
+	// Events is the deployment's push-event counter at the time of the
+	// request — the first push the subscriber sees has Seq == Events+1,
+	// so a reconnecting watcher can detect missed events.
+	Events uint64 `json:"events"`
+}
+
+// WatchEvent is the payload of a FramePush: one successful plan or
+// replan on a watched deployment, carrying exactly the payload the
+// acting client received (the watcher-vs-poller differential holds
+// these equal bit for bit), except that a pushed replan always carries
+// the repaired schedule — a watcher cannot ask for it later.
+type WatchEvent struct {
+	Fingerprint string `json:"fingerprint"`
+	// Seq numbers the deployment's pushes from 1, gap-free per
+	// deployment.
+	Seq uint64 `json:"seq"`
+	// Kind is "plan" or "replan"; exactly the matching body is set.
+	Kind   string          `json:"kind"`
+	Plan   *PlanResponse   `json:"plan,omitempty"`
+	Replan *ReplanResponse `json:"replan,omitempty"`
+}
+
+// Watch-event kinds.
+const (
+	WatchEventPlan   = "plan"
+	WatchEventReplan = "replan"
+)
+
+// DecodeWatchEvent decodes a FramePush payload. It never panics on
+// hostile payloads (FuzzWireDecode).
+func DecodeWatchEvent(payload []byte) (*WatchEvent, error) {
+	var ev WatchEvent
+	if err := json.Unmarshal(payload, &ev); err != nil {
+		return nil, fmt.Errorf("controlplane: decoding watch event: %w", err)
+	}
+	return &ev, nil
 }
 
 // Control operations accepted by ControlRequest.Op — the state of the
@@ -388,6 +468,7 @@ type Request struct {
 	Query   *QueryRequest   `json:"query,omitempty"`
 	List    *ListRequest    `json:"list,omitempty"`
 	Control *ControlRequest `json:"control,omitempty"`
+	Watch   *WatchRequest   `json:"watch,omitempty"`
 }
 
 // Response is the envelope of a FrameResponse, mirroring Request.
@@ -400,6 +481,7 @@ type Response struct {
 	Query   *QueryResponse   `json:"query,omitempty"`
 	List    *ListResponse    `json:"list,omitempty"`
 	Control *ControlResponse `json:"control,omitempty"`
+	Watch   *WatchResponse   `json:"watch,omitempty"`
 }
 
 // DecodeRequest decodes and validates a FrameRequest payload: known
@@ -415,7 +497,8 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	}
 	bodies := 0
 	for _, present := range []bool{req.Submit != nil, req.Plan != nil,
-		req.Replan != nil, req.Query != nil, req.List != nil, req.Control != nil} {
+		req.Replan != nil, req.Query != nil, req.List != nil, req.Control != nil,
+		req.Watch != nil} {
 		if present {
 			bodies++
 		}
@@ -434,6 +517,8 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		want = req.List != nil
 	case OpControl:
 		want = req.Control != nil
+	case OpWatch:
+		want = req.Watch != nil
 	default:
 		return nil, fmt.Errorf("controlplane: unknown op %q", req.Op)
 	}

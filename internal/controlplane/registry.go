@@ -76,6 +76,16 @@ func (r *Registry) register(snap *Snapshot) (*Snapshot, bool) {
 	return snap, false
 }
 
+// unregister removes a snapshot whose durable logging failed, so the
+// in-memory state never claims what the WAL does not hold. The
+// admission sequence counter is not rewound — audit numbers are
+// consumed, never reissued.
+func (r *Registry) unregister(tenant, fingerprint string) {
+	r.mu.Lock()
+	delete(r.tenants[tenant], fingerprint)
+	r.mu.Unlock()
+}
+
 // List returns the tenant's snapshots in admission order.
 func (r *Registry) List(tenant string) []SnapshotInfo {
 	r.mu.RLock()

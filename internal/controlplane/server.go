@@ -46,6 +46,13 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	ln     net.Listener
 	closed bool
+	store  *Store
+
+	// watchMu guards the watch subscriptions. Lock order: d.mu may be
+	// held when taking watchMu (subscribe and push both do), never the
+	// reverse.
+	watchMu  sync.Mutex
+	watchers map[depKey]map[*connState]struct{}
 }
 
 type depKey struct{ tenant, fingerprint string }
@@ -59,6 +66,31 @@ type deployment struct {
 	planner   *cool.Planner
 	inc       *cool.Incremental
 	suspended bool
+	// objective is the last-planned objective ("" until the first
+	// plan/session establishes one); surfaced by query/list.
+	objective string
+	// events counts successful plan/replan events; pushed WatchEvents
+	// carry it as their per-deployment Seq.
+	events uint64
+}
+
+// connState is one live connection's write half: pushes and responses
+// share the socket, so every frame write is serialized by its mutex.
+type connState struct {
+	conn    net.Conn
+	version byte
+
+	mu sync.Mutex
+	// subs tracks the connection's subscriptions for disconnect
+	// cleanup; guarded by Server.watchMu, not cs.mu.
+	subs map[depKey]struct{}
+}
+
+// writeFrame writes one frame, serialized against concurrent pushes.
+func (cs *connState) writeFrame(f Frame) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return WriteFrame(cs.conn, f)
 }
 
 // NewServer builds a server with the given config.
@@ -68,12 +100,13 @@ func NewServer(cfg Config) *Server {
 		cfg.Name = "coold/" + cool.Version
 	}
 	return &Server{
-		cfg:   cfg,
-		reg:   reg,
-		adm:   NewAdmission(reg, cfg.Limits),
-		jobs:  make(chan struct{}, parallel.Workers(cfg.MaxJobs)),
-		deps:  make(map[depKey]*deployment),
-		conns: make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		reg:      reg,
+		adm:      NewAdmission(reg, cfg.Limits),
+		jobs:     make(chan struct{}, parallel.Workers(cfg.MaxJobs)),
+		deps:     make(map[depKey]*deployment),
+		conns:    make(map[net.Conn]struct{}),
+		watchers: make(map[depKey]map[*connState]struct{}),
 	}
 }
 
@@ -112,11 +145,15 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Close stops the server: the listener and every open connection are
-// closed. In-flight requests finish against closed writes.
+// closed, and when a store is attached, the full state is compacted
+// into a final checkpoint (the clean-shutdown flush) before the store
+// is closed. In-flight requests finish against closed writes.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	st := s.store
+	s.store = nil
 	open := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		open = append(open, c)
@@ -129,7 +166,27 @@ func (s *Server) Close() error {
 	for _, c := range open {
 		c.Close()
 	}
+	if st != nil {
+		if cerr := s.checkpointNow(st); cerr != nil {
+			// The WAL still holds everything the checkpoint would have
+			// compacted; replay recovers it.
+			s.logf("close: final checkpoint: %v", cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// getStore returns the attached store (nil when serving in-memory).
+func (s *Server) getStore() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
 }
 
 func (s *Server) track(conn net.Conn) bool {
@@ -158,11 +215,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 	defer s.untrack(conn)
 	r := bufio.NewReader(conn)
+	cs := &connState{conn: conn, version: Version1}
+	defer s.dropWatcher(cs)
 
 	writeErr := func(version byte, code ErrorCode, msg string) {
 		f, err := encodeFrame(version, FrameError, &WireError{Code: code, Message: msg})
 		if err == nil {
-			WriteFrame(conn, f) // best effort; the peer may be gone
+			cs.writeFrame(f) // best effort; the peer may be gone
 		}
 	}
 
@@ -188,8 +247,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 		writeErr(Version1, CodeBadVersion, err.Error())
 		return
 	}
+	cs.version = version
 	ack, err := encodeFrame(version, FrameHelloAck, &HelloAck{Version: version, Server: s.cfg.Name})
-	if err != nil || WriteFrame(conn, ack) != nil {
+	if err != nil || cs.writeFrame(ack) != nil {
 		return
 	}
 
@@ -212,7 +272,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			writeErr(version, CodeBadRequest, err.Error())
 			continue
 		}
-		resp, werr := s.handle(req)
+		resp, werr := s.handle(req, cs)
 		var out Frame
 		if werr != nil {
 			out, err = encodeFrame(version, FrameError, werr)
@@ -223,7 +283,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			writeErr(version, CodeInternal, err.Error())
 			continue
 		}
-		if err := WriteFrame(conn, out); err != nil {
+		if err := cs.writeFrame(out); err != nil {
 			return
 		}
 	}
@@ -239,7 +299,9 @@ func frameErrCode(err error) ErrorCode {
 
 // handle dispatches one request. All engine work happens here, bounded
 // by the jobs pool; the connection loop stays free of planning cost.
-func (s *Server) handle(req *Request) (*Response, *WireError) {
+// The connState is the requester's write half — only OpWatch binds to
+// it (subscriptions are per connection).
+func (s *Server) handle(req *Request, cs *connState) (*Response, *WireError) {
 	switch req.Op {
 	case OpSubmit:
 		return s.handleSubmit(req.Tenant, req.Submit)
@@ -250,11 +312,37 @@ func (s *Server) handle(req *Request) (*Response, *WireError) {
 	case OpQuery:
 		return s.handleQuery(req.Tenant, req.Query)
 	case OpList:
-		return &Response{Op: OpList, List: &ListResponse{Snapshots: s.reg.List(req.Tenant)}}, nil
+		return s.handleList(req.Tenant)
 	case OpControl:
 		return s.handleControl(req.Tenant, req.Control)
+	case OpWatch:
+		return s.handleWatch(req.Tenant, req.Watch, cs)
 	}
 	return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// handleList enumerates the tenant's snapshots and decorates each with
+// its deployment's last-planned objective (empty until a plan
+// establishes one, keeping pre-objective encodings byte-identical).
+func (s *Server) handleList(tenant string) (*Response, *WireError) {
+	snaps := s.reg.List(tenant)
+	// Collect the live handles under s.mu, then read each objective
+	// under its own d.mu (lock order: s.mu and d.mu never nest here).
+	deps := make([]*deployment, len(snaps))
+	s.mu.Lock()
+	for i := range snaps {
+		deps[i] = s.deps[depKey{tenant, snaps[i].Fingerprint}]
+	}
+	s.mu.Unlock()
+	for i, d := range deps {
+		if d == nil {
+			continue
+		}
+		d.mu.Lock()
+		snaps[i].Objective = d.objective
+		d.mu.Unlock()
+	}
+	return &Response{Op: OpList, List: &ListResponse{Snapshots: snaps}}, nil
 }
 
 func (s *Server) handleSubmit(tenant string, sub *SubmitRequest) (*Response, *WireError) {
@@ -262,6 +350,35 @@ func (s *Server) handleSubmit(tenant string, sub *SubmitRequest) (*Response, *Wi
 	if werr != nil {
 		s.logf("submit tenant=%s rejected: %s: %s", tenant, werr.Code, werr.Message)
 		return nil, werr
+	}
+	if !resubmitted {
+		if st := s.getStore(); st != nil {
+			// Durability before acknowledgment: the admission is answered
+			// only after the event is logged and synced. On a storage
+			// failure the registration is rolled back, so memory never
+			// claims what the WAL does not hold and a restart cannot
+			// diverge from what clients were told.
+			err := st.AppendSubmit(SubmitRecord{
+				Tenant:      tenant,
+				Name:        snap.Name,
+				Parent:      snap.Parent,
+				Fingerprint: snap.Fingerprint,
+				Seq:         snap.Seq,
+				Spec:        snap.Spec,
+			})
+			if err != nil {
+				s.reg.unregister(tenant, snap.Fingerprint)
+				s.logf("submit tenant=%s fp=%.12s storage failure: %v", tenant, snap.Fingerprint, err)
+				return nil, &WireError{Code: CodeStorage, Message: err.Error()}
+			}
+			if st.ShouldCheckpoint() {
+				if err := s.checkpointNow(st); err != nil {
+					// Non-fatal: the WAL still holds every event the
+					// checkpoint would have compacted.
+					s.logf("checkpoint: %v", err)
+				}
+			}
+		}
 	}
 	if planner != nil {
 		// Install the serving handle unless a concurrent identical
@@ -389,14 +506,19 @@ func (s *Server) handlePlan(tenant string, plan *PlanRequest) (*Response, *WireE
 	if err != nil {
 		return nil, &WireError{Code: CodeInternal, Message: err.Error()}
 	}
+	d.objective = ObjectiveUtility
 	s.logf("plan tenant=%s fp=%.12s engine=%s utility=%g", tenant, plan.Fingerprint, engine, utility)
-	return &Response{Op: OpPlan, Plan: &PlanResponse{
+	resp := &PlanResponse{
 		Engine:   engine,
 		Schedule: sched,
 		Utility:  utility,
 		Mode:     sched.Mode().String(),
 		Slots:    sched.Period(),
-	}}, nil
+	}
+	s.pushEvent(depKey{tenant, plan.Fingerprint}, d, &WatchEvent{
+		Fingerprint: plan.Fingerprint, Kind: WatchEventPlan, Plan: resp,
+	})
+	return &Response{Op: OpPlan, Plan: resp}, nil
 }
 
 // handlePlanLifetime serves the lifetime objective through the same
@@ -429,9 +551,10 @@ func (s *Server) handlePlanLifetime(tenant string, plan *PlanRequest, d *deploym
 	for t := range slots {
 		slots[t] = append([]int{}, lr.Schedule.ActiveAt(t)...)
 	}
+	d.objective = ObjectiveLifetime
 	s.logf("plan tenant=%s fp=%.12s engine=%s objective=lifetime lifetime=%d",
 		tenant, plan.Fingerprint, string(res.Algorithm), lr.Lifetime)
-	return &Response{Op: OpPlan, Plan: &PlanResponse{
+	resp := &PlanResponse{
 		Engine:    string(res.Algorithm),
 		Objective: ObjectiveLifetime,
 		Lifetime: &LifetimePlanInfo{
@@ -440,7 +563,11 @@ func (s *Server) handlePlanLifetime(tenant string, plan *PlanRequest, d *deploym
 			Groups:      lr.Groups,
 			ActiveSlots: slots,
 		},
-	}}, nil
+	}
+	s.pushEvent(depKey{tenant, plan.Fingerprint}, d, &WatchEvent{
+		Fingerprint: plan.Fingerprint, Kind: WatchEventPlan, Plan: resp,
+	})
+	return &Response{Op: OpPlan, Plan: resp}, nil
 }
 
 func (s *Server) handleReplan(tenant string, rep *ReplanRequest) (*Response, *WireError) {
@@ -458,6 +585,7 @@ func (s *Server) handleReplan(tenant string, rep *ReplanRequest) (*Response, *Wi
 	if err := d.ensureInc(); err != nil {
 		return nil, &WireError{Code: CodeInternal, Message: err.Error()}
 	}
+	d.objective = ObjectiveUtility
 	var (
 		st  cool.RepairStats
 		err error
@@ -500,6 +628,25 @@ func (s *Server) handleReplan(tenant string, rep *ReplanRequest) (*Response, *Wi
 	}
 	s.logf("replan tenant=%s fp=%.12s op=%s changed=%d dirty=%d moves=%d utility=%g",
 		tenant, rep.Fingerprint, rep.Op, st.Changed, st.Dirty, st.Moves, st.Utility)
+	key := depKey{tenant, rep.Fingerprint}
+	if s.watcherCount(key) > 0 {
+		// The push mirrors the actor's response, except it always
+		// carries the repaired schedule — a watcher cannot ask later.
+		push := *resp
+		if push.Schedule == nil {
+			sched, err := d.inc.Schedule()
+			if err != nil {
+				s.logf("watch tenant=%s fp=%.12s push schedule: %v", tenant, rep.Fingerprint, err)
+				return &Response{Op: OpReplan, Replan: resp}, nil
+			}
+			push.Schedule = sched
+		}
+		s.pushEvent(key, d, &WatchEvent{
+			Fingerprint: rep.Fingerprint, Kind: WatchEventReplan, Replan: &push,
+		})
+	} else {
+		d.events++ // the event is numbered even when unobserved
+	}
 	return &Response{Op: OpReplan, Replan: resp}, nil
 }
 
@@ -511,6 +658,7 @@ func (s *Server) handleQuery(tenant string, q *QueryRequest) (*Response, *WireEr
 	if q.What == QueryStatus {
 		// Status works even while suspended — it is how an operator
 		// sees the suspension.
+		watchers := s.watcherCount(depKey{tenant, q.Fingerprint})
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		period := d.planner.Period()
@@ -525,6 +673,8 @@ func (s *Server) handleQuery(tenant string, q *QueryRequest) (*Response, *WireEr
 			Present:     len(d.snap.Spec.Sensors),
 			Suspended:   d.suspended,
 			Live:        d.inc != nil,
+			Objective:   d.objective,
+			Watchers:    watchers,
 		}
 		if d.inc != nil {
 			st.Mode = d.inc.Mode().String()
@@ -544,6 +694,7 @@ func (s *Server) handleQuery(tenant string, q *QueryRequest) (*Response, *WireEr
 	if err := d.ensureInc(); err != nil {
 		return nil, &WireError{Code: CodeInternal, Message: err.Error()}
 	}
+	d.objective = ObjectiveUtility
 	out := &QueryResponse{}
 	switch q.What {
 	case QuerySchedule:
@@ -574,7 +725,18 @@ func (s *Server) handleControl(tenant string, ctl *ControlRequest) (*Response, *
 		if ctl.Limits != nil {
 			l = *ctl.Limits
 		}
+		old := s.adm.Limits()
 		eff := s.adm.SetLimits(l)
+		if st := s.getStore(); st != nil {
+			// The record holds the effective (fully non-zero) limits, so
+			// replaying it restores them exactly; on storage failure the
+			// change is undone the same way.
+			if err := st.AppendLimits(eff); err != nil {
+				s.adm.SetLimits(old)
+				s.logf("control tenant=%s limits storage failure: %v", tenant, err)
+				return nil, &WireError{Code: CodeStorage, Message: err.Error()}
+			}
+		}
 		s.logf("control tenant=%s limits=%+v", tenant, eff)
 		return &Response{Op: OpControl, Control: &ControlResponse{Limits: &eff}}, nil
 	case ControlSuspend, ControlResume, ControlReset:
@@ -596,4 +758,98 @@ func (s *Server) handleControl(tenant string, ctl *ControlRequest) (*Response, *
 		return &Response{Op: OpControl, Control: &ControlResponse{Suspended: d.suspended}}, nil
 	}
 	return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("unknown control op %q", ctl.Op)}
+}
+
+// handleWatch subscribes (or unsubscribes) the requesting connection
+// to a deployment's push stream. Subscription state changes under d.mu
+// so they serialize against pushes: the Events counter in the response
+// and the Seq of the first push the subscriber sees are gap-free by
+// construction.
+func (s *Server) handleWatch(tenant string, w *WatchRequest, cs *connState) (*Response, *WireError) {
+	d, werr := s.deployment(tenant, w.Fingerprint)
+	if werr != nil {
+		return nil, werr
+	}
+	key := depKey{tenant, w.Fingerprint}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := &WatchResponse{Events: d.events}
+	s.watchMu.Lock()
+	set := s.watchers[key]
+	switch w.Op {
+	case WatchSubscribe:
+		if set == nil {
+			set = make(map[*connState]struct{})
+			s.watchers[key] = set
+		}
+		set[cs] = struct{}{}
+		if cs.subs == nil {
+			cs.subs = make(map[depKey]struct{})
+		}
+		cs.subs[key] = struct{}{}
+		resp.Subscribed = true
+	case WatchUnsubscribe:
+		delete(set, cs)
+		delete(cs.subs, key)
+	default:
+		s.watchMu.Unlock()
+		return nil, &WireError{Code: CodeBadRequest, Message: fmt.Sprintf("unknown watch op %q", w.Op)}
+	}
+	resp.Watchers = len(set)
+	s.watchMu.Unlock()
+	s.logf("watch tenant=%s fp=%.12s op=%s watchers=%d", tenant, w.Fingerprint, w.Op, resp.Watchers)
+	return &Response{Op: OpWatch, Watch: resp}, nil
+}
+
+// watcherCount returns the deployment's subscriber count.
+func (s *Server) watcherCount(key depKey) int {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	return len(s.watchers[key])
+}
+
+// dropWatcher removes a disconnecting connection from every
+// subscription it holds.
+func (s *Server) dropWatcher(cs *connState) {
+	s.watchMu.Lock()
+	for key := range cs.subs {
+		delete(s.watchers[key], cs)
+		if len(s.watchers[key]) == 0 {
+			delete(s.watchers, key)
+		}
+	}
+	cs.subs = nil
+	s.watchMu.Unlock()
+}
+
+// pushEvent numbers one successful plan/replan event and pushes it to
+// the deployment's subscribers. Callers hold d.mu, which is what makes
+// per-deployment push order (and the Seq numbering) total; a write
+// failure drops the watcher and closes its connection.
+func (s *Server) pushEvent(key depKey, d *deployment, ev *WatchEvent) {
+	d.events++
+	ev.Seq = d.events
+	s.watchMu.Lock()
+	set := s.watchers[key]
+	targets := make([]*connState, 0, len(set))
+	for cs := range set {
+		targets = append(targets, cs)
+	}
+	s.watchMu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	f, err := encodeFrame(Version1, FramePush, ev)
+	if err != nil {
+		s.logf("watch fp=%.12s push encode: %v", key.fingerprint, err)
+		return
+	}
+	for _, cs := range targets {
+		f.Version = cs.version
+		if err := cs.writeFrame(f); err != nil {
+			// A dead or stalled watcher must not wedge the deployment.
+			s.dropWatcher(cs)
+			cs.conn.Close()
+		}
+	}
 }

@@ -1,0 +1,479 @@
+package controlplane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// This file is the durability layer of the control plane: an
+// append-only, length-prefixed, CRC-guarded write-ahead log of
+// admission events plus periodic compacted checkpoints. The record
+// framing reuses the wire protocol's decoder discipline — a version
+// byte, a typed kind byte, and a size that is validated before any
+// allocation — so a torn or hostile log errors with a typed reason
+// instead of panicking or admitting a half-written snapshot.
+//
+// Log layout (one record):
+//
+//	offset 0      version byte (WALVersion1)
+//	offset 1      record kind byte
+//	offset 2..5   payload length, big-endian uint32
+//	offset 6..13  LSN, big-endian uint64 (strictly increasing)
+//	offset 14..17 CRC-32C, big-endian uint32, over bytes 0..13 ++ payload
+//	offset 18..   payload (JSON)
+//
+// Crash semantics: the only damage an append-crash can leave is a
+// truncated final record (the torn tail). Recovery replays the longest
+// clean prefix — every record that decodes with a valid header, a
+// monotonic LSN and a matching CRC — and reports the discarded tail as
+// a typed *TornTailError. A record that fails any check never reaches
+// the registry, so a half-written snapshot is never admitted.
+//
+// Compaction: every CheckpointEvery admissions the full registry state
+// is written to checkpoint.json (atomically: temp file, fsync, rename)
+// and the WAL is truncated. The checkpoint records the LSN it
+// compacted up to; replay skips WAL records at or below it, so a crash
+// between the rename and the truncation only makes replay idempotent,
+// never wrong. See DESIGN.md §5.10.
+
+// WALVersion1 is the initial WAL record format version.
+const WALVersion1 byte = 1
+
+// RecordKind tags the payload carried by one WAL record.
+type RecordKind byte
+
+// WAL record kinds. Like wire frame types, unknown kinds are a typed
+// decode error — a future format bump, not a crash.
+const (
+	// RecordSubmit is one durable admission event: the full normalized
+	// snapshot as admitted (tenant, lineage, fingerprint, seq, spec).
+	RecordSubmit RecordKind = 1
+	// RecordLimits is one durable runtime limits reconfiguration (the
+	// effective limits after the change).
+	RecordLimits RecordKind = 2
+)
+
+// maxRecordKind is the highest kind this build understands.
+const maxRecordKind = RecordLimits
+
+// walHeaderLen is the fixed record header size: version byte, kind
+// byte, uint32 length, uint64 LSN, uint32 CRC.
+const walHeaderLen = 18
+
+// MaxWALRecordBytes bounds one record's payload, validated before any
+// allocation — the same discipline as MaxFrameBytes (a snapshot that
+// fits a wire frame fits a WAL record).
+const MaxWALRecordBytes = MaxFrameBytes
+
+// WAL decoding errors.
+var (
+	// ErrWALRecord reports a structurally invalid record (bad version,
+	// unknown kind, oversize length, CRC mismatch, non-monotonic LSN).
+	ErrWALRecord = errors.New("controlplane: malformed WAL record")
+	// ErrTornTail reports that the log ends in a partial or corrupt
+	// record — the expected shape after an append-crash. Recovery keeps
+	// the clean prefix; the typed error carries where and why.
+	ErrTornTail = errors.New("controlplane: torn WAL tail")
+)
+
+// TornTailError is the typed torn-tail report: the byte offset of the
+// first unreadable record (== the length of the clean prefix) and the
+// decoder's reason. It unwraps to ErrTornTail.
+type TornTailError struct {
+	// Offset is the byte offset of the clean prefix's end.
+	Offset int64
+	// Reason is the decoder's classification of the damage.
+	Reason string
+}
+
+// Error implements error.
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("controlplane: torn WAL tail at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrTornTail) hold.
+func (e *TornTailError) Unwrap() error { return ErrTornTail }
+
+// WALRecord is one decoded log record.
+type WALRecord struct {
+	// LSN is the record's log sequence number, strictly increasing
+	// across the log (checkpoints compact up to an LSN; appends
+	// continue past it).
+	LSN uint64
+	// Kind tags the payload.
+	Kind RecordKind
+	// Payload is the record's JSON body.
+	Payload []byte
+}
+
+// SubmitRecord is the payload of a RecordSubmit: the admitted snapshot
+// exactly as the registry holds it. Replay re-normalizes the spec and
+// re-derives the fingerprint, so a corrupted or tampered record is a
+// typed error, never a silently wrong registry.
+type SubmitRecord struct {
+	Tenant      string         `json:"tenant"`
+	Name        string         `json:"name,omitempty"`
+	Parent      string         `json:"parent,omitempty"`
+	Fingerprint string         `json:"fingerprint"`
+	Seq         uint64         `json:"seq"`
+	Spec        DeploymentSpec `json:"spec"`
+}
+
+// LimitsRecord is the payload of a RecordLimits: the effective
+// admission limits after a runtime reconfiguration.
+type LimitsRecord struct {
+	Limits Limits `json:"limits"`
+}
+
+// Checkpoint is the compacted full state written by the store:
+// everything replay needs to rebuild the control plane without the
+// log. Snapshots are in admission (Seq) order.
+type Checkpoint struct {
+	// FormatVersion versions the checkpoint encoding.
+	FormatVersion int `json:"format_version"`
+	// LSN is the last WAL record compacted into this checkpoint; replay
+	// skips records at or below it.
+	LSN uint64 `json:"lsn"`
+	// Seq is the registry's global admission sequence counter.
+	Seq uint64 `json:"seq"`
+	// Limits are the effective admission limits.
+	Limits Limits `json:"limits"`
+	// Snapshots are every tenant's admitted snapshots in Seq order.
+	Snapshots []SubmitRecord `json:"snapshots"`
+}
+
+// checkpointFormatVersion is the checkpoint encoding this build writes
+// and accepts.
+const checkpointFormatVersion = 1
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendWALRecord appends the encoded record to dst and returns the
+// extended slice. Encoding is the byte-for-byte inverse of
+// decodeWALRecord; the golden WAL corpus pins it.
+func appendWALRecord(dst []byte, rec WALRecord) []byte {
+	start := len(dst)
+	dst = append(dst, WALVersion1, byte(rec.Kind))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(rec.Payload)))
+	dst = binary.BigEndian.AppendUint64(dst, rec.LSN)
+	crc := crc32.Update(0, crcTable, dst[start:start+14])
+	crc = crc32.Update(crc, crcTable, rec.Payload)
+	dst = binary.BigEndian.AppendUint32(dst, crc)
+	return append(dst, rec.Payload...)
+}
+
+// decodeWALRecord decodes one record at data[off:]. It validates the
+// version, kind, length and CRC before trusting the payload, and
+// returns the offset just past the record. Errors classify the damage;
+// io-style truncation and corruption both come back as ErrWALRecord
+// wraps so decodeWAL can convert them to a torn-tail report.
+func decodeWALRecord(data []byte, off int) (WALRecord, int, error) {
+	if len(data)-off < walHeaderLen {
+		return WALRecord{}, off, fmt.Errorf("%w: truncated header (%d of %d bytes)",
+			ErrWALRecord, len(data)-off, walHeaderLen)
+	}
+	h := data[off : off+walHeaderLen]
+	if h[0] != WALVersion1 {
+		return WALRecord{}, off, fmt.Errorf("%w: version %d (this build speaks %d)", ErrWALRecord, h[0], WALVersion1)
+	}
+	kind := RecordKind(h[1])
+	if kind == 0 || kind > maxRecordKind {
+		return WALRecord{}, off, fmt.Errorf("%w: unknown kind %d", ErrWALRecord, h[1])
+	}
+	n := binary.BigEndian.Uint32(h[2:6])
+	if n > MaxWALRecordBytes {
+		return WALRecord{}, off, fmt.Errorf("%w: declared %d bytes exceeds MaxWALRecordBytes", ErrWALRecord, n)
+	}
+	if len(data)-off-walHeaderLen < int(n) {
+		return WALRecord{}, off, fmt.Errorf("%w: truncated payload (%d of %d bytes)",
+			ErrWALRecord, len(data)-off-walHeaderLen, n)
+	}
+	payload := data[off+walHeaderLen : off+walHeaderLen+int(n)]
+	crc := crc32.Update(0, crcTable, h[:14])
+	crc = crc32.Update(crc, crcTable, payload)
+	if got := binary.BigEndian.Uint32(h[14:18]); got != crc {
+		return WALRecord{}, off, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrWALRecord, got, crc)
+	}
+	rec := WALRecord{
+		LSN:  binary.BigEndian.Uint64(h[6:14]),
+		Kind: kind,
+	}
+	if n > 0 {
+		rec.Payload = append([]byte(nil), payload...)
+	}
+	return rec, off + walHeaderLen + int(n), nil
+}
+
+// decodeWAL decodes the longest clean prefix of a log: records with
+// valid headers, matching CRCs and strictly increasing non-zero LSNs.
+// The clean prefix length is returned in bytes; if any bytes remain
+// past it, the damage is reported as a typed *TornTailError. It never
+// panics on hostile input and never allocates beyond a record's
+// declared (validated) size — FuzzWALReplay hammers exactly this
+// entrypoint.
+func decodeWAL(data []byte) ([]WALRecord, int64, *TornTailError) {
+	var (
+		recs []WALRecord
+		off  int
+		lsn  uint64
+	)
+	for off < len(data) {
+		rec, next, err := decodeWALRecord(data, off)
+		if err != nil {
+			return recs, int64(off), &TornTailError{Offset: int64(off), Reason: err.Error()}
+		}
+		if rec.LSN <= lsn {
+			return recs, int64(off), &TornTailError{Offset: int64(off),
+				Reason: fmt.Sprintf("non-monotonic LSN %d after %d", rec.LSN, lsn)}
+		}
+		lsn = rec.LSN
+		recs = append(recs, rec)
+		off = next
+	}
+	return recs, int64(off), nil
+}
+
+// Recovered is the durable state a store found on open: the latest
+// checkpoint (nil when none was ever written), the clean-prefix WAL
+// records past it, and the torn-tail report when the log's end was
+// discarded (the expected shape after an append-crash; nil after a
+// clean shutdown).
+type Recovered struct {
+	Checkpoint *Checkpoint
+	Records    []WALRecord
+	TornTail   *TornTailError
+}
+
+// StoreOptions tunes a Store.
+type StoreOptions struct {
+	// CheckpointEvery compacts the log into a checkpoint after this
+	// many appended admission events (<= 0 selects
+	// DefaultCheckpointEvery).
+	CheckpointEvery int
+}
+
+// DefaultCheckpointEvery is the default compaction cadence.
+const DefaultCheckpointEvery = 64
+
+// Store owns one data directory: the append-only wal.log and the
+// compacted checkpoint.json. Appends are serialized, synced to disk
+// before they return, and framed by appendWALRecord; the server calls
+// AppendSubmit/AppendLimits after each successful admission event so a
+// restarted daemon replays to the exact pre-crash state. Safe for
+// concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	f      *os.File
+	lsn    uint64 // last appended (or recovered) LSN
+	every  int
+	since  int // records appended since the last checkpoint
+	closed bool
+}
+
+// walPath and checkpointPath name the store's files.
+func walPath(dir string) string        { return filepath.Join(dir, "wal.log") }
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint.json") }
+
+// OpenStore opens (creating if needed) the data directory and recovers
+// its durable state: the latest checkpoint, then the WAL's clean
+// prefix. A torn tail is truncated off the log file — the damage is in
+// the returned report, not on disk — so the next append extends the
+// clean prefix. The caller replays Recovered into a Server (UseStore)
+// before serving.
+func OpenStore(dir string, opts StoreOptions) (*Store, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("controlplane: opening store: %w", err)
+	}
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	rec := &Recovered{}
+
+	// Checkpoint first: it is written atomically (temp + rename), so it
+	// either exists whole or not at all. A checkpoint that does not
+	// decode is real corruption, not a crash artifact — fail stop.
+	if data, err := os.ReadFile(checkpointPath(dir)); err == nil {
+		cp := &Checkpoint{}
+		if err := json.Unmarshal(data, cp); err != nil {
+			return nil, nil, fmt.Errorf("controlplane: corrupt checkpoint: %w", err)
+		}
+		if cp.FormatVersion != checkpointFormatVersion {
+			return nil, nil, fmt.Errorf("controlplane: checkpoint format %d (this build speaks %d)",
+				cp.FormatVersion, checkpointFormatVersion)
+		}
+		rec.Checkpoint = cp
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("controlplane: reading checkpoint: %w", err)
+	}
+	// Leftover temp file from a crash mid-checkpoint: the rename never
+	// happened, so it is dead weight.
+	os.Remove(checkpointPath(dir) + ".tmp")
+
+	data, err := os.ReadFile(walPath(dir))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("controlplane: reading WAL: %w", err)
+	}
+	recs, clean, torn := decodeWAL(data)
+	rec.TornTail = torn
+
+	lsn := uint64(0)
+	if rec.Checkpoint != nil {
+		lsn = rec.Checkpoint.LSN
+	}
+	// Records already compacted into the checkpoint (a crash between
+	// the checkpoint rename and the log truncation) replay idempotently
+	// by being skipped here.
+	for _, r := range recs {
+		if r.LSN > lsn {
+			rec.Records = append(rec.Records, r)
+			lsn = r.LSN
+		}
+	}
+
+	f, err := os.OpenFile(walPath(dir), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("controlplane: opening WAL for append: %w", err)
+	}
+	// Drop the torn tail from disk so appends extend the clean prefix.
+	if err := f.Truncate(clean); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("controlplane: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(clean, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("controlplane: seeking WAL end: %w", err)
+	}
+	return &Store{dir: dir, f: f, lsn: lsn, every: every, since: len(rec.Records)}, rec, nil
+}
+
+// Dir returns the store's data directory.
+func (st *Store) Dir() string { return st.dir }
+
+// LSN returns the last appended (or recovered) log sequence number.
+func (st *Store) LSN() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lsn
+}
+
+// append encodes and durably appends one record: the write and the
+// fsync both complete before the admission decision is answered.
+func (st *Store) append(kind RecordKind, payload []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return errors.New("controlplane: store closed")
+	}
+	st.lsn++
+	buf := appendWALRecord(make([]byte, 0, walHeaderLen+len(payload)),
+		WALRecord{LSN: st.lsn, Kind: kind, Payload: payload})
+	if _, err := st.f.Write(buf); err != nil {
+		return fmt.Errorf("controlplane: WAL append: %w", err)
+	}
+	if err := st.f.Sync(); err != nil {
+		return fmt.Errorf("controlplane: WAL sync: %w", err)
+	}
+	st.since++
+	return nil
+}
+
+// AppendSubmit durably logs one admission event.
+func (st *Store) AppendSubmit(rec SubmitRecord) error {
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("controlplane: encoding submit record: %w", err)
+	}
+	return st.append(RecordSubmit, payload)
+}
+
+// AppendLimits durably logs one limits reconfiguration.
+func (st *Store) AppendLimits(l Limits) error {
+	payload, err := json.Marshal(&LimitsRecord{Limits: l})
+	if err != nil {
+		return fmt.Errorf("controlplane: encoding limits record: %w", err)
+	}
+	return st.append(RecordLimits, payload)
+}
+
+// ShouldCheckpoint reports whether enough has been appended since the
+// last compaction to warrant a checkpoint.
+func (st *Store) ShouldCheckpoint() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.since >= st.every
+}
+
+// WriteCheckpoint atomically replaces the checkpoint with the given
+// full state and truncates the log it compacts: marshal, write to a
+// temp file, fsync, rename, then truncate wal.log. A crash at any
+// point leaves either the old checkpoint (plus the whole log) or the
+// new one (plus a log whose stale prefix replay skips by LSN) — never
+// a half-written state. The caller fills Seq/Limits/Snapshots; the
+// store stamps the LSN boundary.
+func (st *Store) WriteCheckpoint(cp *Checkpoint) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return errors.New("controlplane: store closed")
+	}
+	cp.FormatVersion = checkpointFormatVersion
+	cp.LSN = st.lsn
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("controlplane: encoding checkpoint: %w", err)
+	}
+	tmp := checkpointPath(st.dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("controlplane: writing checkpoint: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("controlplane: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("controlplane: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("controlplane: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, checkpointPath(st.dir)); err != nil {
+		return fmt.Errorf("controlplane: installing checkpoint: %w", err)
+	}
+	// The records up to cp.LSN are now compacted; drop them.
+	if err := st.f.Truncate(0); err != nil {
+		return fmt.Errorf("controlplane: truncating compacted WAL: %w", err)
+	}
+	if _, err := st.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("controlplane: seeking compacted WAL: %w", err)
+	}
+	if err := st.f.Sync(); err != nil {
+		return fmt.Errorf("controlplane: syncing compacted WAL: %w", err)
+	}
+	st.since = 0
+	return nil
+}
+
+// Close flushes and closes the store. Safe to call twice.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	if err := st.f.Sync(); err != nil {
+		st.f.Close()
+		return err
+	}
+	return st.f.Close()
+}

@@ -1,0 +1,637 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// recordedSession is the canonical durable admission session the WAL
+// harnesses share: three tenants' submits (including a child snapshot
+// and two idempotency/rejection non-events that must leave no WAL
+// residue) plus a limits change. Built purely from deterministic
+// specs, so the encoded log is byte-stable across runs — it seeds
+// FuzzWALReplay and drives the crash sweep.
+type recordedEvent struct {
+	// record is the WAL record the event durably appends.
+	record WALRecord
+	// submit is set for RecordSubmit events (replay verification).
+	submit *SubmitRecord
+}
+
+// sessionSubmit normalizes and fingerprints a spec exactly as
+// admission would and wraps it as the nth durable record.
+func sessionSubmit(tb testing.TB, lsn uint64, tenant, name, parent string, spec DeploymentSpec) recordedEvent {
+	tb.Helper()
+	norm, err := Normalize(spec)
+	if err != nil {
+		tb.Fatalf("session spec: %v", err)
+	}
+	fp, err := Fingerprint(norm)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sub := SubmitRecord{Tenant: tenant, Name: name, Parent: parent, Fingerprint: fp, Seq: lsn, Spec: norm}
+	payload, err := json.Marshal(&sub)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return recordedEvent{
+		record: WALRecord{LSN: lsn, Kind: RecordSubmit, Payload: payload},
+		submit: &sub,
+	}
+}
+
+// recordedSessionEvents builds the session's durable records. Seq ==
+// LSN here because every record before a submit is itself a submit
+// except the final limits record.
+func recordedSessionEvents(tb testing.TB) []recordedEvent {
+	tb.Helper()
+	a := sessionSubmit(tb, 1, "acme", "field-a", "", testSpec(8, 5, 3, 1))
+	b := sessionSubmit(tb, 2, "acme", "field-b", "", testSpec(6, 4, 2, 2))
+	c := sessionSubmit(tb, 3, "globex", "north", "", testSpec(7, 4, 1, 3))
+	child := sessionSubmit(tb, 4, "acme", "field-a-v2", a.submit.Fingerprint, testSpec(9, 5, 3, 4))
+	limits, err := json.Marshal(&LimitsRecord{Limits: Limits{
+		MaxSensors: 5000, MaxTargets: DefaultMaxTargets, MaxDeployments: 12,
+	}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return []recordedEvent{
+		a, b, c, child,
+		{record: WALRecord{LSN: 5, Kind: RecordLimits, Payload: limits}},
+	}
+}
+
+// sessionWAL encodes the recorded session as one log.
+func sessionWAL(tb testing.TB) []byte {
+	var buf []byte
+	for _, ev := range recordedSessionEvents(tb) {
+		buf = appendWALRecord(buf, ev.record)
+	}
+	return buf
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	recs := []WALRecord{
+		{LSN: 1, Kind: RecordSubmit, Payload: []byte(`{"tenant":"t"}`)},
+		{LSN: 2, Kind: RecordLimits, Payload: []byte(`{"limits":{}}`)},
+		{LSN: 9000, Kind: RecordSubmit, Payload: nil},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = appendWALRecord(buf, r)
+	}
+	got, clean, torn := decodeWAL(buf)
+	if torn != nil {
+		t.Fatalf("clean log reported torn tail: %v", torn)
+	}
+	if clean != int64(len(buf)) {
+		t.Fatalf("clean prefix %d, want %d", clean, len(buf))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.LSN != recs[i].LSN || r.Kind != recs[i].Kind || !bytes.Equal(r.Payload, recs[i].Payload) {
+			t.Fatalf("record %d: got %+v, want %+v", i, r, recs[i])
+		}
+	}
+}
+
+// TestWALTornTailEveryOffset truncates the recorded session's log at
+// every byte offset: the decoder must keep exactly the records whose
+// bytes fully survive, report the damage as a typed torn tail (except
+// at record boundaries, which are clean shutdown states), and never
+// panic.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	events := recordedSessionEvents(t)
+	full := sessionWAL(t)
+
+	// boundaries[k] is the byte offset just past record k.
+	boundaries := map[int64]int{0: 0}
+	var buf []byte
+	for i, ev := range events {
+		buf = appendWALRecord(buf, ev.record)
+		boundaries[int64(len(buf))] = i + 1
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		recs, clean, torn := decodeWAL(full[:cut])
+		wantRecs, atBoundary := 0, false
+		for off, k := range boundaries {
+			if off <= int64(cut) && k > wantRecs {
+				wantRecs = k
+			}
+			if off == int64(cut) {
+				atBoundary = true
+			}
+		}
+		if len(recs) != wantRecs {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(recs), wantRecs)
+		}
+		if atBoundary {
+			if torn != nil {
+				t.Fatalf("cut %d at record boundary: spurious torn tail %v", cut, torn)
+			}
+			if clean != int64(cut) {
+				t.Fatalf("cut %d: clean prefix %d", cut, clean)
+			}
+		} else {
+			if torn == nil {
+				t.Fatalf("cut %d mid-record: no torn tail reported", cut)
+			}
+			if !errors.Is(torn, ErrTornTail) {
+				t.Fatalf("cut %d: torn tail not typed: %v", cut, torn)
+			}
+			if torn.Offset != clean || clean >= int64(cut) {
+				t.Fatalf("cut %d: torn offset %d, clean %d", cut, torn.Offset, clean)
+			}
+		}
+	}
+}
+
+// TestWALDecodeRejectsCorruption flips structural fields of a valid
+// record and wants each damage class surfaced as a typed torn tail
+// ending the clean prefix.
+func TestWALDecodeRejectsCorruption(t *testing.T) {
+	base := appendWALRecord(nil, WALRecord{LSN: 1, Kind: RecordSubmit, Payload: []byte(`{"tenant":"t"}`)})
+	corrupt := func(name string, mutate func(b []byte)) {
+		b := append([]byte(nil), base...)
+		mutate(b)
+		recs, _, torn := decodeWAL(b)
+		if len(recs) != 0 || torn == nil {
+			t.Errorf("%s: corruption accepted (%d records, torn %v)", name, len(recs), torn)
+		}
+	}
+	corrupt("bad version", func(b []byte) { b[0] = WALVersion1 + 1 })
+	corrupt("zero kind", func(b []byte) { b[1] = 0 })
+	corrupt("unknown kind", func(b []byte) { b[1] = byte(maxRecordKind) + 1 })
+	corrupt("payload bit flip", func(b []byte) { b[len(b)-1] ^= 0x40 })
+	corrupt("crc flip", func(b []byte) { b[15] ^= 0x01 })
+	corrupt("lsn flip", func(b []byte) { b[13] ^= 0x02 }) // CRC covers the LSN too
+
+	// Oversize declared length dies before allocation.
+	huge := append([]byte(nil), base...)
+	huge[2], huge[3], huge[4], huge[5] = 0xff, 0xff, 0xff, 0xff
+	if recs, _, torn := decodeWAL(huge); len(recs) != 0 || torn == nil {
+		t.Fatalf("oversize length accepted (%d records)", len(recs))
+	}
+
+	// Non-monotonic LSN ends the clean prefix at the offending record.
+	var log []byte
+	log = appendWALRecord(log, WALRecord{LSN: 5, Kind: RecordLimits, Payload: []byte(`{"limits":{}}`)})
+	mark := len(log)
+	log = appendWALRecord(log, WALRecord{LSN: 5, Kind: RecordLimits, Payload: []byte(`{"limits":{}}`)})
+	recs, clean, torn := decodeWAL(log)
+	if len(recs) != 1 || clean != int64(mark) || torn == nil {
+		t.Fatalf("repeated LSN: %d records, clean %d, torn %v", len(recs), clean, torn)
+	}
+	// A zero LSN is invalid even as the first record.
+	zero := appendWALRecord(nil, WALRecord{LSN: 0, Kind: RecordLimits, Payload: []byte(`{"limits":{}}`)})
+	if recs, _, torn := decodeWAL(zero); len(recs) != 0 || torn == nil {
+		t.Fatalf("zero LSN accepted (%d records)", len(recs))
+	}
+}
+
+// TestStoreAppendRecoverCycle drives the store through its whole life:
+// open empty, append the session, reopen (records recovered), append
+// more, checkpoint (log compacted), reopen (checkpoint + empty log),
+// append past the checkpoint, reopen (checkpoint + tail records).
+func TestStoreAppendRecoverCycle(t *testing.T) {
+	dir := t.TempDir()
+	events := recordedSessionEvents(t)
+
+	st, rec, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint != nil || len(rec.Records) != 0 || rec.TornTail != nil {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	for _, ev := range events {
+		var aerr error
+		if ev.submit != nil {
+			aerr = st.AppendSubmit(*ev.submit)
+		} else {
+			var lim LimitsRecord
+			if err := json.Unmarshal(ev.record.Payload, &lim); err != nil {
+				t.Fatal(err)
+			}
+			aerr = st.AppendLimits(lim.Limits)
+		}
+		if aerr != nil {
+			t.Fatalf("append: %v", aerr)
+		}
+	}
+	if st.LSN() != uint64(len(events)) {
+		t.Fatalf("LSN %d after %d appends", st.LSN(), len(events))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+
+	// Reopen: everything is in the log, nothing in a checkpoint.
+	st, rec, err = OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint != nil || len(rec.Records) != len(events) || rec.TornTail != nil {
+		t.Fatalf("reopen recovered %d records (checkpoint %v, torn %v)",
+			len(rec.Records), rec.Checkpoint, rec.TornTail)
+	}
+	onDisk := sessionWAL(t)
+	got, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, onDisk) {
+		t.Fatalf("on-disk log differs from the deterministic session encoding\n got %d bytes\nwant %d bytes",
+			len(got), len(onDisk))
+	}
+
+	// Checkpoint through a restored server: the log compacts away.
+	srv := NewServer(Config{})
+	if _, err := srv.UseStore(st, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.checkpointNow(st); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(walPath(dir)); err != nil || fi.Size() != 0 {
+		t.Fatalf("log not truncated after checkpoint: %v, %v", fi, err)
+	}
+	extra := sessionSubmit(t, 5, "initech", "south", "", testSpec(5, 3, 2, 9))
+	extra.submit.Seq = 5 // registry counter after 4 submits + limits LSN ordering
+	if err := st.AppendSubmit(*extra.submit); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the checkpoint carries the compacted state, the log the
+	// tail record, and their LSNs do not overlap.
+	st, rec, err = OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if rec.Checkpoint == nil || rec.Checkpoint.LSN != uint64(len(events)) {
+		t.Fatalf("reopen after checkpoint: %+v", rec.Checkpoint)
+	}
+	if len(rec.Checkpoint.Snapshots) != 4 {
+		t.Fatalf("checkpoint carries %d snapshots, want 4", len(rec.Checkpoint.Snapshots))
+	}
+	if len(rec.Records) != 1 || rec.Records[0].LSN != uint64(len(events))+1 {
+		t.Fatalf("reopen tail: %+v", rec.Records)
+	}
+	if st.LSN() != uint64(len(events))+1 {
+		t.Fatalf("reopened LSN %d", st.LSN())
+	}
+}
+
+// TestStoreTornTailTruncatedOnOpen writes a log ending mid-record and
+// wants OpenStore to report the typed tail, truncate it off disk, and
+// leave the file appendable from the clean prefix.
+func TestStoreTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	full := sessionWAL(t)
+	cut := len(full) - 7 // mid-record
+	if err := os.WriteFile(walPath(dir), full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, rec, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TornTail == nil || !errors.Is(rec.TornTail, ErrTornTail) {
+		t.Fatalf("torn log opened without typed report: %+v", rec.TornTail)
+	}
+	if len(rec.Records) != len(recordedSessionEvents(t))-1 {
+		t.Fatalf("recovered %d records", len(rec.Records))
+	}
+	fi, err := os.Stat(walPath(dir))
+	if err != nil || fi.Size() != rec.TornTail.Offset {
+		t.Fatalf("tail not truncated: size %d, clean %d", fi.Size(), rec.TornTail.Offset)
+	}
+	// Appends continue the clean prefix with the next LSN.
+	extra := sessionSubmit(t, st.LSN()+1, "initech", "west", "", testSpec(5, 3, 2, 10))
+	if err := st.AppendSubmit(*extra.submit); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.TornTail != nil || len(rec2.Records) != len(recordedSessionEvents(t)) {
+		t.Fatalf("post-repair reopen: %d records, torn %v", len(rec2.Records), rec2.TornTail)
+	}
+}
+
+// TestStoreCheckpointCrashIdempotent simulates a crash between the
+// checkpoint rename and the log truncation: the log still holds
+// records the checkpoint already compacted, and recovery must skip
+// them by LSN instead of double-applying.
+func TestStoreCheckpointCrashIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	events := recordedSessionEvents(t)
+	full := sessionWAL(t)
+
+	// Build the checkpoint a server would have written after the whole
+	// session, but leave the full log in place (the "crash").
+	srv := NewServer(Config{})
+	recs, _, torn := decodeWAL(full)
+	if torn != nil {
+		t.Fatal(torn)
+	}
+	if _, err := srv.Restore(&Recovered{Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	snaps, seq := srv.reg.Export()
+	cp := &Checkpoint{FormatVersion: checkpointFormatVersion, LSN: uint64(len(events)),
+		Seq: seq, Limits: srv.adm.Limits(), Snapshots: snaps}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(checkpointPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath(dir), full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A leftover checkpoint temp file from the same crash must be swept.
+	if err := os.WriteFile(checkpointPath(dir)+".tmp", []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, rec, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if len(rec.Records) != 0 {
+		t.Fatalf("compacted records replayed again: %d", len(rec.Records))
+	}
+	if _, err := os.Stat(checkpointPath(dir) + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("crash temp file survived open: %v", err)
+	}
+	srv2 := NewServer(Config{})
+	if _, err := srv2.Restore(rec); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualServerState(t, "checkpoint-crash recovery", srv2, srv)
+}
+
+// mustEqualServerState asserts two servers hold bit-identical control
+// state: same snapshots (fingerprint, seq, lineage, spec) in the same
+// global order, same admission counter, same effective limits, and the
+// same per-tenant List output.
+func mustEqualServerState(t *testing.T, label string, got, want *Server) {
+	t.Helper()
+	gs, gseq := got.reg.Export()
+	ws, wseq := want.reg.Export()
+	gb, err := json.Marshal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := json.Marshal(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, wb) {
+		t.Fatalf("%s: exported state differs\n got %s\nwant %s", label, gb, wb)
+	}
+	if gseq != wseq {
+		t.Fatalf("%s: admission counter %d, want %d", label, gseq, wseq)
+	}
+	if gl, wl := got.adm.Limits(), want.adm.Limits(); gl != wl {
+		t.Fatalf("%s: limits %+v, want %+v", label, gl, wl)
+	}
+	tenants := make(map[string]struct{})
+	for i := range ws {
+		tenants[ws[i].Tenant] = struct{}{}
+	}
+	for tenant := range tenants {
+		gl, wl := got.reg.List(tenant), want.reg.List(tenant)
+		glb, _ := json.Marshal(gl)
+		wlb, _ := json.Marshal(wl)
+		if !bytes.Equal(glb, wlb) {
+			t.Fatalf("%s: tenant %s list differs\n got %s\nwant %s", label, tenant, glb, wlb)
+		}
+	}
+}
+
+// TestRestoreRejectsTamperedRecord flips a payload byte *and* fixes
+// the CRC, so the framing is clean but the content lies: replay must
+// detect the fingerprint mismatch and fail stop rather than install a
+// snapshot whose spec does not hash to its recorded identity.
+func TestRestoreRejectsTamperedRecord(t *testing.T) {
+	ev := sessionSubmit(t, 1, "acme", "field-a", "", testSpec(8, 5, 3, 1))
+	tampered := *ev.submit
+	tampered.Spec.Sensors = append([]SensorSpec(nil), tampered.Spec.Sensors...)
+	tampered.Spec.Sensors[0].X += 1 // content no longer matches the fingerprint
+	payload, err := json.Marshal(&tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := appendWALRecord(nil, WALRecord{LSN: 1, Kind: RecordSubmit, Payload: payload})
+	recs, _, torn := decodeWAL(log)
+	if torn != nil || len(recs) != 1 {
+		t.Fatalf("framing should be clean: %v", torn)
+	}
+	srv := NewServer(Config{})
+	if _, err := srv.Restore(&Recovered{Records: recs}); err == nil {
+		t.Fatal("tampered snapshot replayed without error")
+	}
+	if snaps, _ := srv.reg.Export(); len(snaps) != 0 {
+		t.Fatalf("tampered snapshot left residue: %d snapshots", len(snaps))
+	}
+}
+
+const goldenWALPath = "testdata/golden_wal.json"
+
+// TestGoldenWAL pins the WAL record encodings byte-for-byte: the
+// recorded session's log plus each record kind individually. The
+// corpus regenerates with the same -update flag as the wire corpus,
+// which also rewrites the FuzzWALReplay seed corpus.
+func TestGoldenWAL(t *testing.T) {
+	entries := []goldenEntry{{Name: "session", FrameHex: hex.EncodeToString(sessionWAL(t))}}
+	for i, ev := range recordedSessionEvents(t) {
+		kind := "submit"
+		if ev.record.Kind == RecordLimits {
+			kind = "limits"
+		}
+		entries = append(entries, goldenEntry{
+			Name:     fmt.Sprintf("record-%02d-%s", i, kind),
+			FrameHex: hex.EncodeToString(appendWALRecord(nil, ev.record)),
+		})
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenWALPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		writeWALFuzzSeeds(t)
+		t.Logf("rewrote %s (%d entries) and the FuzzWALReplay seed corpus", goldenWALPath, len(entries))
+	}
+
+	data, err := os.ReadFile(goldenWALPath)
+	if err != nil {
+		t.Fatalf("reading golden WAL corpus (run with -update to create): %v", err)
+	}
+	var pinned []goldenEntry
+	if err := json.Unmarshal(data, &pinned); err != nil {
+		t.Fatal(err)
+	}
+	if len(pinned) != len(entries) {
+		t.Fatalf("corpus has %d entries, test builds %d — regenerate with -update", len(pinned), len(entries))
+	}
+	for i, e := range entries {
+		if pinned[i].Name != e.Name {
+			t.Fatalf("corpus entry %d is %q, test builds %q", i, pinned[i].Name, e.Name)
+		}
+		if pinned[i].FrameHex != e.FrameHex {
+			t.Errorf("%s: encoding drifted from golden corpus", e.Name)
+			continue
+		}
+		// Round trip: pinned bytes decode and re-encode to themselves.
+		raw, err := hex.DecodeString(pinned[i].FrameHex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, clean, torn := decodeWAL(raw)
+		if torn != nil || clean != int64(len(raw)) {
+			t.Errorf("%s: pinned bytes do not decode cleanly: %v", e.Name, torn)
+			continue
+		}
+		var re []byte
+		for _, r := range recs {
+			re = appendWALRecord(re, r)
+		}
+		if !bytes.Equal(re, raw) {
+			t.Errorf("%s: decode/re-encode not identity", e.Name)
+		}
+	}
+}
+
+// walFuzzSeeds is the committed FuzzWALReplay seed corpus: the
+// recorded session, every single-record encoding, clean boundaries,
+// torn tails, and corruption shapes — shared between f.Add and the
+// -update regeneration so the on-disk corpus cannot drift.
+func walFuzzSeeds(tb testing.TB) [][]byte {
+	full := sessionWAL(tb)
+	events := recordedSessionEvents(tb)
+	firstLen := len(appendWALRecord(nil, events[0].record))
+	crcFlip := append([]byte(nil), full...)
+	crcFlip[15] ^= 0x01
+	badKind := append([]byte(nil), full...)
+	badKind[1] = 0x7f
+	seeds := [][]byte{
+		full,
+		full[:firstLen],              // clean single-record boundary
+		full[:firstLen+walHeaderLen], // torn: header of record 2, no payload
+		full[:len(full)-3],           // torn tail
+		crcFlip,
+		badKind,
+		{},
+		[]byte("not a log at all"),
+		appendWALRecord(nil, WALRecord{LSN: 1, Kind: RecordLimits, Payload: []byte(`{"limits":{"max_sensors":5}}`)}),
+		appendWALRecord(nil, WALRecord{LSN: 1, Kind: RecordSubmit, Payload: []byte(`{"tenant":"t","fingerprint":"lies","seq":1,"spec":{"rho":1}}`)}),
+	}
+	for _, ev := range events {
+		seeds = append(seeds, appendWALRecord(nil, ev.record))
+	}
+	return seeds
+}
+
+// writeWALFuzzSeeds materializes walFuzzSeeds as the committed Go fuzz
+// corpus (same format and -update path as FuzzWireDecode's).
+func writeWALFuzzSeeds(t *testing.T) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range walFuzzSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+		name := filepath.Join(dir, fmt.Sprintf("seed_%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzWALReplay hammers the recovery path with mutated logs. The
+// contract: decoding never panics, the accepted clean prefix
+// re-encodes byte-identically, and any log that replays successfully
+// yields a state that re-serializes byte-identically when exported and
+// restored again (replay is a fixed point — no lossy acceptance).
+func FuzzWALReplay(f *testing.F) {
+	for _, seed := range walFuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, clean, torn := decodeWAL(data)
+		if clean > int64(len(data)) {
+			t.Fatalf("clean prefix %d beyond input %d", clean, len(data))
+		}
+		if (torn != nil) != (clean < int64(len(data))) {
+			t.Fatalf("torn report %v inconsistent with clean %d of %d", torn, clean, len(data))
+		}
+		var re []byte
+		for _, r := range recs {
+			re = appendWALRecord(re, r)
+		}
+		if !bytes.Equal(re, data[:clean]) {
+			t.Fatalf("accepted prefix does not re-encode identically")
+		}
+
+		srv := NewServer(Config{})
+		if _, err := srv.Restore(&Recovered{Records: recs, TornTail: torn}); err != nil {
+			return // typed rejection of a semantically bad log
+		}
+		snaps, seq := srv.reg.Export()
+		first, err := json.Marshal(snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fixed point: exporting the accepted state and restoring it as a
+		// checkpoint must reproduce the identical serialization.
+		srv2 := NewServer(Config{})
+		if _, err := srv2.Restore(&Recovered{Checkpoint: &Checkpoint{
+			FormatVersion: checkpointFormatVersion, LSN: seq, Seq: seq,
+			Limits: srv.adm.Limits(), Snapshots: snaps,
+		}}); err != nil {
+			t.Fatalf("accepted state does not restore from its own export: %v", err)
+		}
+		snaps2, seq2 := srv2.reg.Export()
+		second, err := json.Marshal(snaps2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) || seq != seq2 {
+			t.Fatalf("replayed state is not a serialization fixed point\n first %s\nsecond %s", first, second)
+		}
+		if srv.adm.Limits() != srv2.adm.Limits() {
+			t.Fatalf("limits not a fixed point: %+v vs %+v", srv.adm.Limits(), srv2.adm.Limits())
+		}
+	})
+}

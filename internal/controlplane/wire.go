@@ -51,10 +51,13 @@ const (
 	FrameResponse FrameType = 4
 	// FrameError carries a WireError.
 	FrameError FrameType = 5
+	// FramePush carries a WatchEvent: server → client, unsolicited, on
+	// a connection holding a watch subscription.
+	FramePush FrameType = 6
 )
 
 // maxFrameType is the highest FrameType this build understands.
-const maxFrameType = FrameError
+const maxFrameType = FramePush
 
 // headerLen is the fixed frame header size: version byte, type byte,
 // uint32 big-endian payload length.

@@ -175,6 +175,8 @@ func FuzzWireDecode(f *testing.F) {
 			DecodeResponse(fr.Payload)
 		case FrameError:
 			DecodeWireError(fr.Payload)
+		case FramePush:
+			DecodeWatchEvent(fr.Payload)
 		}
 	})
 }
@@ -201,6 +203,9 @@ func fuzzSeeds() [][]byte {
 		valid(FrameError, `{"code":"rejected","message":"nope"}`),
 		valid(FrameRequest, `not json at all`),
 		valid(FrameHelloAck, ``),
+		valid(FrameRequest, `{"op":"watch","tenant":"t","watch":{"fingerprint":"deadbeef","watch_op":"subscribe"}}`),
+		valid(FramePush, `{"fingerprint":"deadbeef","seq":3,"kind":"replan","replan":{"changed":1,"dirty":2,"utility_before":2,"utility":1.5,"schedule":{"mode":"placement","period":4,"assign":[0,1]}}}`),
+		valid(FramePush, `not a watch event`),
 		{},                              // empty input
 		{Version1, byte(FrameHello), 0}, // truncated header
 		badVersion,

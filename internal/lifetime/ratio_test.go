@@ -1,0 +1,145 @@
+package lifetime
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Empirical approximation floors of the two heuristics over the
+// enumerable ratioFamily below (n ≤ 10, horizons ≤ 24), pinned so a
+// regression in either planner's drafting order or group construction
+// fails loudly. The floors are measured worst cases minus nothing —
+// the family is deterministic, so the worst ratio is exact and any
+// drop below it is a behavior change, not noise.
+const (
+	hefRatioFloor   = 0.5
+	stripRatioFloor = 0.5
+)
+
+// ratioFamily enumerates a deterministic instance family stressing
+// every scheduling axis the heuristics can lose lifetime on: shared
+// fans (one target, all sensors interchangeable), interleaved pair
+// chains, k-coverage, partial-coverage thresholds, heterogeneous
+// recharge (solar ρ per sensor), capacities above one slot, and
+// weather envelopes with dead streaks.
+func ratioFamily() []*Instance {
+	var fam []*Instance
+	seq := func(n int) []int {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = i
+		}
+		return s
+	}
+	for n := 3; n <= 10; n++ {
+		for _, h := range []int{6, 12, 24} {
+			// Fan: one target, every sensor a coverer — lifetime = n without
+			// recharge, horizon with enough recharge.
+			fam = append(fam, &Instance{N: n, Targets: []Target{{Covers: seq(n)}}, Horizon: h})
+			fan := &Instance{N: n, Targets: []Target{{Covers: seq(n)}}, Horizon: h,
+				Recharge: fill(n, 0.5)}
+			fam = append(fam, fan)
+			// k=2 on the fan: pairs drain twice as fast.
+			fam = append(fam, &Instance{N: n, K: 2, Targets: []Target{{Covers: seq(n)}}, Horizon: h})
+			// Interleaved split: two targets, even/odd coverers — the
+			// heuristics must not waste a sensor covering both.
+			var even, odd []int
+			for i := 0; i < n; i++ {
+				if i%2 == 0 {
+					even = append(even, i)
+				} else {
+					odd = append(odd, i)
+				}
+			}
+			split := &Instance{N: n, Targets: []Target{{Covers: even}, {Covers: odd}}, Horizon: h}
+			fam = append(fam, split)
+			// Threshold ½ on the split: covering either side suffices.
+			fam = append(fam, &Instance{N: n, Threshold: 0.5,
+				Targets: []Target{{Covers: even}, {Covers: odd}}, Horizon: h})
+			// Double-capacity batteries, started full.
+			fam = append(fam, &Instance{N: n, Targets: []Target{{Covers: seq(n)}}, Horizon: h,
+				Capacity: fill(n, 2), Initial: fill(n, 2)})
+			// Solar fan under a day/night envelope: recharge 1 gated by an
+			// alternating scale with a dead streak.
+			fam = append(fam, &Instance{N: n, Targets: []Target{{Covers: seq(n)}}, Horizon: h,
+				Recharge: fill(n, 1), Scale: []float64{1, 0, 0, 1}})
+			// Heterogeneous ρ: half the fleet charges at ρ=2, half never.
+			het := fill(n, 0)
+			for i := 0; i < n; i += 2 {
+				het[i] = 0.5
+			}
+			fam = append(fam, &Instance{N: n, Targets: []Target{{Covers: seq(n)}}, Horizon: h,
+				Recharge: het})
+		}
+	}
+	// Pair chains at every width the exact search still accepts.
+	for m := 2; m <= 5; m++ {
+		for _, h := range []int{6, 12, 24} {
+			fam = append(fam, chainInstance(m, h))
+			in := chainInstance(m, h)
+			in.Recharge = fill(in.N, 0.5)
+			fam = append(fam, in)
+		}
+	}
+	return fam
+}
+
+// TestApproximationRatioFamily compares HEF and StripCover to the
+// exhaustive optimum over the whole family and pins the worst observed
+// lifetime ratio above the empirical floors: the heuristics may be
+// approximate, but how approximate is part of the contract.
+func TestApproximationRatioFamily(t *testing.T) {
+	worst := map[string]float64{"hef": 1, "strip-cover": 1}
+	worstCase := map[string]string{}
+	compared := 0
+	for idx, in := range ratioFamily() {
+		label := fmt.Sprintf("case %d (n=%d h=%d k=%d th=%v)", idx, in.N, in.Horizon, in.K, in.Threshold)
+		exact, err := Exact(in, ExactOptions{})
+		if errors.Is(err, ErrTooLarge) {
+			continue // family member outgrew the exhaustive search budget
+		}
+		if err != nil {
+			t.Fatalf("%s: exact: %v", label, err)
+		}
+		if err := in.Verify(exact); err != nil {
+			t.Fatalf("%s: exact verify: %v", label, err)
+		}
+		for name, plan := range map[string]func(*Instance) (*Result, error){
+			"hef": HEF, "strip-cover": StripCover,
+		} {
+			res, err := plan(in)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", label, name, err)
+			}
+			if err := in.Verify(res); err != nil {
+				t.Fatalf("%s: %s verify: %v", label, name, err)
+			}
+			if res.Lifetime > exact.Lifetime {
+				t.Fatalf("%s: %s lifetime %d beats exact %d", label, name, res.Lifetime, exact.Lifetime)
+			}
+			if exact.Lifetime == 0 {
+				continue // nothing to approximate
+			}
+			ratio := float64(res.Lifetime) / float64(exact.Lifetime)
+			if ratio < worst[name] {
+				worst[name] = ratio
+				worstCase[name] = label
+			}
+		}
+		compared++
+	}
+	if compared < 100 {
+		t.Fatalf("only %d family members fit the exact search — family too thin", compared)
+	}
+	t.Logf("compared %d instances; worst ratios: hef %.3f (%s), strip-cover %.3f (%s)",
+		compared, worst["hef"], worstCase["hef"], worst["strip-cover"], worstCase["strip-cover"])
+	if worst["hef"] < hefRatioFloor {
+		t.Errorf("HEF worst ratio %.3f (%s) below the pinned floor %v",
+			worst["hef"], worstCase["hef"], hefRatioFloor)
+	}
+	if worst["strip-cover"] < stripRatioFloor {
+		t.Errorf("strip-cover worst ratio %.3f (%s) below the pinned floor %v",
+			worst["strip-cover"], worstCase["strip-cover"], stripRatioFloor)
+	}
+}
